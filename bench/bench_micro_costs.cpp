@@ -1,0 +1,106 @@
+//===- bench/bench_micro_costs.cpp - Filter vs scheduler unit costs --------===//
+//
+// Microbenchmarks substantiating the paper's premise that "the filter is
+// much cheaper to apply than instruction scheduling itself": per-block
+// cost of (1) feature extraction, (2) rule-set evaluation, (3) dependence
+// DAG construction, (4) full list scheduling, and (5) the block timing
+// simulator, across block sizes.  Uses google-benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#include "features/Features.h"
+#include "ml/Ripper.h"
+#include "sched/ListScheduler.h"
+#include "sim/BlockSimulator.h"
+#include "workloads/ProgramGenerator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace schedfilter;
+
+namespace {
+
+/// Builds one block with roughly the requested number of statements from
+/// the mpegaudio profile (FP-rich, the interesting case for scheduling).
+BasicBlock makeBlock(int Statements) {
+  const BenchmarkSpec *Spec = findBenchmarkSpec("mpegaudio");
+  Rng R(0xB10C + static_cast<uint64_t>(Statements));
+  return ProgramGenerator(*Spec).generateBlock(R, Statements,
+                                               /*EndWithTerminator=*/true);
+}
+
+/// A realistic filter to price rule evaluation: trained on a small
+/// sample of labeled blocks.
+RuleSet makeFilter() {
+  const BenchmarkSpec *Spec = findBenchmarkSpec("mpegaudio");
+  MachineModel Model = MachineModel::ppc7410();
+  ListScheduler Sched(Model);
+  BlockSimulator Sim(Model);
+  Rng R(0xF117);
+  Dataset D("micro");
+  for (int I = 0; I < 600; ++I) {
+    BasicBlock BB = ProgramGenerator(*Spec).generateBlock(
+        R, R.range(0, 6), /*EndWithTerminator=*/true);
+    uint64_t Before = Sim.simulate(BB);
+    uint64_t After = Sim.simulate(BB, Sched.schedule(BB).Order);
+    D.add({extractFeatures(BB), After < Before ? Label::LS : Label::NS});
+  }
+  return Ripper().train(D);
+}
+
+void BM_FeatureExtraction(benchmark::State &State) {
+  BasicBlock BB = makeBlock(static_cast<int>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(extractFeatures(BB));
+  State.SetLabel(std::to_string(BB.size()) + " insts");
+}
+
+void BM_FilterDecision(benchmark::State &State) {
+  BasicBlock BB = makeBlock(static_cast<int>(State.range(0)));
+  static const RuleSet Filter = makeFilter();
+  for (auto _ : State) {
+    bool Decision = Filter.predict(extractFeatures(BB)) == Label::LS;
+    benchmark::DoNotOptimize(Decision);
+  }
+  State.SetLabel(std::to_string(BB.size()) + " insts");
+}
+
+void BM_DagBuild(benchmark::State &State) {
+  BasicBlock BB = makeBlock(static_cast<int>(State.range(0)));
+  MachineModel Model = MachineModel::ppc7410();
+  for (auto _ : State) {
+    DependenceGraph Dag(BB, Model);
+    benchmark::DoNotOptimize(Dag.numEdges());
+  }
+  State.SetLabel(std::to_string(BB.size()) + " insts");
+}
+
+void BM_ListSchedule(benchmark::State &State) {
+  BasicBlock BB = makeBlock(static_cast<int>(State.range(0)));
+  MachineModel Model = MachineModel::ppc7410();
+  ListScheduler Sched(Model);
+  for (auto _ : State) {
+    ScheduleResult SR = Sched.schedule(BB);
+    benchmark::DoNotOptimize(SR.Order.data());
+  }
+  State.SetLabel(std::to_string(BB.size()) + " insts");
+}
+
+void BM_BlockSimulate(benchmark::State &State) {
+  BasicBlock BB = makeBlock(static_cast<int>(State.range(0)));
+  MachineModel Model = MachineModel::ppc7410();
+  BlockSimulator Sim(Model);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Sim.simulate(BB));
+  State.SetLabel(std::to_string(BB.size()) + " insts");
+}
+
+} // namespace
+
+BENCHMARK(BM_FeatureExtraction)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
+BENCHMARK(BM_FilterDecision)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
+BENCHMARK(BM_DagBuild)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
+BENCHMARK(BM_ListSchedule)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
+BENCHMARK(BM_BlockSimulate)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+//===- bench/bench_table3_error_rates.cpp - Paper Table 3 ------------------===//
+//
+// Regenerates Table 3: leave-one-out cross-validated classification error
+// rates (percent misclassified) of the RIPPER-induced filters on the
+// SPECjvm98 stand-in suite, for threshold values t = 0..50 step 5.
+//
+// Paper reference (geometric means): 7.86 at t=0 falling monotonically to
+// 0.06 at t=50.  The shape to check: errors are single-digit at t=0, are
+// fairly consistent across benchmarks, and fall toward zero as t rises.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiments.h"
+#include "harness/TableRender.h"
+
+#include <iostream>
+
+using namespace schedfilter;
+
+int main() {
+  MachineModel Model = MachineModel::ppc7410();
+  std::vector<BenchmarkRun> Suite =
+      generateSuiteData(specjvm98Suite(), Model);
+  std::vector<ThresholdResult> Sweep =
+      runThresholdSweep(Suite, paperThresholds(), ripperLearner());
+  renderTable3(Sweep, std::cout);
+  return 0;
+}

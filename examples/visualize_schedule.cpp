@@ -1,0 +1,60 @@
+//===- examples/visualize_schedule.cpp - Cycle-level before/after ----------===//
+//
+// Renders the simulator's cycle-by-cycle issue trace of one block before
+// and after list scheduling, making the source of the speedup visible:
+// the scheduler drags independent loads into the latency shadows of
+// earlier instructions.  Also dumps the dependence graph edges.
+//
+// Run: ./build/examples/visualize_schedule
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/ListScheduler.h"
+#include "sim/BlockSimulator.h"
+#include "workloads/ProgramGenerator.h"
+
+#include <iostream>
+
+using namespace schedfilter;
+
+int main() {
+  MachineModel Model = MachineModel::ppc7410();
+
+  // A generated mpegaudio-style block with several statements of ILP.
+  const BenchmarkSpec *Spec = findBenchmarkSpec("mpegaudio");
+  Rng R(0x5EE);
+  BasicBlock BB = ProgramGenerator(*Spec).generateBlock(
+      R, /*NumStatements=*/4, /*EndWithTerminator=*/true);
+
+  std::cout << "== Block (naive JIT emission order) ==\n"
+            << BB.toString() << '\n';
+
+  DependenceGraph Dag(BB, Model);
+  std::cout << "== Dependence edges ==\n";
+  static const char *KindNames[] = {"data",   "anti",    "output",
+                                    "memory", "control", "hazard"};
+  for (size_t I = 0; I != Dag.numNodes(); ++I)
+    for (const DepEdge &E : Dag.succs(static_cast<int>(I)))
+      std::cout << "  " << I << " -> " << E.To << "  ["
+                << KindNames[static_cast<int>(E.Kind)] << ", latency "
+                << E.Latency << "]\n";
+  std::cout << '\n';
+
+  BlockSimulator Sim(Model);
+  std::vector<int> Naive = ListScheduler::identity(BB).Order;
+  std::cout << "== Issue trace, unscheduled ==\n"
+            << Sim.simulateWithTrace(BB, Naive).toString(BB, Model) << '\n';
+
+  ListScheduler Sched(Model);
+  ScheduleResult SR = Sched.schedule(BB, Dag);
+  std::cout << "== Issue trace, after CPS list scheduling ==\n"
+            << Sim.simulateWithTrace(BB, SR.Order).toString(BB, Model)
+            << '\n';
+
+  uint64_t Before = Sim.simulate(BB);
+  uint64_t After = Sim.simulate(BB, SR.Order);
+  std::cout << "scheduling saved "
+            << (Before - After) << " of " << Before << " cycles ("
+            << (100 * (Before - After) / Before) << "%)\n";
+  return 0;
+}

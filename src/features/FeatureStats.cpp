@@ -1,0 +1,69 @@
+//===- features/FeatureStats.cpp - Per-class feature summaries --------------===//
+
+#include "features/FeatureStats.h"
+
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace schedfilter;
+
+FeatureStats::FeatureStats(const Dataset &Data) {
+  for (unsigned F = 0; F != NumFeatures; ++F)
+    for (int C = 0; C != 2; ++C) {
+      Stats[F][C].Min = 1e308;
+      Stats[F][C].Max = -1e308;
+    }
+  for (const Instance &I : Data) {
+    int C = I.Y == Label::LS ? 1 : 0;
+    for (unsigned F = 0; F != NumFeatures; ++F) {
+      FeatureSummary &S = Stats[F][C];
+      S.Min = std::min(S.Min, I.X[F]);
+      S.Max = std::max(S.Max, I.X[F]);
+      S.Mean += I.X[F];
+      ++S.Count;
+    }
+  }
+  for (unsigned F = 0; F != NumFeatures; ++F)
+    for (int C = 0; C != 2; ++C) {
+      FeatureSummary &S = Stats[F][C];
+      if (S.Count == 0) {
+        S.Min = S.Max = 0.0;
+      } else {
+        S.Mean /= static_cast<double>(S.Count);
+      }
+    }
+}
+
+double FeatureStats::separation(unsigned Feature) const {
+  const FeatureSummary &NS = Stats[Feature][0];
+  const FeatureSummary &LS = Stats[Feature][1];
+  if (NS.Count == 0 || LS.Count == 0)
+    return 0.0;
+  double Lo = std::min(NS.Min, LS.Min);
+  double Hi = std::max(NS.Max, LS.Max);
+  if (Hi <= Lo)
+    return 0.0;
+  return std::fabs(LS.Mean - NS.Mean) / (Hi - Lo);
+}
+
+std::vector<unsigned> FeatureStats::rankedFeatures() const {
+  std::vector<unsigned> Order(NumFeatures);
+  for (unsigned F = 0; F != NumFeatures; ++F)
+    Order[F] = F;
+  std::stable_sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+    return separation(A) > separation(B);
+  });
+  return Order;
+}
+
+void FeatureStats::print(std::ostream &OS) const {
+  TablePrinter T({"Feature", "NS mean", "LS mean", "Separation"});
+  for (unsigned F : rankedFeatures())
+    T.addRow({getFeatureName(F), formatDouble(forClass(F, Label::NS).Mean, 4),
+              formatDouble(forClass(F, Label::LS).Mean, 4),
+              formatDouble(separation(F), 3)});
+  T.print(OS);
+}

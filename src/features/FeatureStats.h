@@ -1,0 +1,56 @@
+//===- features/FeatureStats.h - Per-class feature summaries ----*- C++ -*-===//
+///
+/// \file
+/// Per-feature, per-class summary statistics over a labeled dataset.
+/// Developing features "is more an art than a step-by-step procedure"
+/// (§2.1); these summaries are the artist's palette -- they show at a
+/// glance which features actually separate LS from NS blocks, and back
+/// the inspect_rules example and the feature-ablation bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_FEATURES_FEATURESTATS_H
+#define SCHEDFILTER_FEATURES_FEATURESTATS_H
+
+#include "ml/Dataset.h"
+
+#include <ostream>
+
+namespace schedfilter {
+
+/// Summary of one feature within one class.
+struct FeatureSummary {
+  double Min = 0.0;
+  double Max = 0.0;
+  double Mean = 0.0;
+  size_t Count = 0;
+};
+
+/// All features x both classes, plus a crude separability score.
+class FeatureStats {
+public:
+  /// Computes statistics over \p Data.
+  explicit FeatureStats(const Dataset &Data);
+
+  const FeatureSummary &forClass(unsigned Feature, Label L) const {
+    return Stats[Feature][L == Label::LS ? 1 : 0];
+  }
+
+  /// |mean_LS - mean_NS| normalized by the feature's overall range; 0
+  /// when the feature is constant.  A quick univariate separability
+  /// measure for ranking features.
+  double separation(unsigned Feature) const;
+
+  /// Features sorted by descending separation.
+  std::vector<unsigned> rankedFeatures() const;
+
+  /// Prints a per-feature table (mean per class, separation).
+  void print(std::ostream &OS) const;
+
+private:
+  FeatureSummary Stats[NumFeatures][2];
+};
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_FEATURES_FEATURESTATS_H

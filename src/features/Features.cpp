@@ -1,0 +1,87 @@
+//===- features/Features.cpp - Table 1 block features ----------------------===//
+
+#include "features/Features.h"
+
+#include <cassert>
+
+using namespace schedfilter;
+
+const char *schedfilter::getFeatureName(unsigned F) {
+  switch (F) {
+  case FeatBBLen:
+    return "bbLen";
+  case FeatBranch:
+    return "branches";
+  case FeatCall:
+    return "calls";
+  case FeatLoad:
+    return "loads";
+  case FeatStore:
+    return "stores";
+  case FeatReturn:
+    return "returns";
+  case FeatInteger:
+    return "integers";
+  case FeatFloat:
+    return "floats";
+  case FeatSystem:
+    return "systems";
+  case FeatPEI:
+    return "peis";
+  case FeatGC:
+    return "gcpoints";
+  case FeatTS:
+    return "tspoints";
+  case FeatYield:
+    return "yieldpoints";
+  default:
+    assert(false && "invalid feature index");
+    return "?";
+  }
+}
+
+FeatureVector schedfilter::extractFeatures(const BasicBlock &BB) {
+  FeatureVector X{};
+  if (BB.empty())
+    return X;
+
+  // One pass, counting category membership.
+  unsigned Counts[NumFeatures] = {0};
+  for (const Instruction &I : BB) {
+    uint16_t Cats = I.categories();
+    if (Cats & CatBranch)
+      ++Counts[FeatBranch];
+    if (Cats & CatCall)
+      ++Counts[FeatCall];
+    if (Cats & CatLoad)
+      ++Counts[FeatLoad];
+    if (Cats & CatStore)
+      ++Counts[FeatStore];
+    if (Cats & CatReturn)
+      ++Counts[FeatReturn];
+    if (Cats & CatIntegerFU)
+      ++Counts[FeatInteger];
+    if (Cats & CatFloatFU)
+      ++Counts[FeatFloat];
+    if (Cats & CatSystemFU)
+      ++Counts[FeatSystem];
+    if (Cats & CatPEI)
+      ++Counts[FeatPEI];
+    if (Cats & CatGCPoint)
+      ++Counts[FeatGC];
+    if (Cats & CatThreadSwitch)
+      ++Counts[FeatTS];
+    if (Cats & CatYieldPoint)
+      ++Counts[FeatYield];
+  }
+
+  double N = static_cast<double>(BB.size());
+  X[FeatBBLen] = N;
+  for (unsigned F = FeatBranch; F != NumFeatures; ++F)
+    X[F] = static_cast<double>(Counts[F]) / N;
+  return X;
+}
+
+uint64_t schedfilter::featureExtractionWork(const BasicBlock &BB) {
+  return BB.size() + 1;
+}

@@ -1,0 +1,59 @@
+//===- features/Features.h - Table 1 block features -------------*- C++ -*-===//
+///
+/// \file
+/// The paper's 13 cheap, static block features (Table 1): the block length
+/// plus, for each of 12 possibly-overlapping instruction categories, the
+/// *fraction* of the block's instructions falling in that category.
+/// Fractions (rather than counts) let the learner generalize over block
+/// sizes.  Extraction is a single pass over the instructions — by design it
+/// is much cheaper than building the dependence DAG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_FEATURES_FEATURES_H
+#define SCHEDFILTER_FEATURES_FEATURES_H
+
+#include "mir/BasicBlock.h"
+
+#include <array>
+#include <cstdint>
+
+namespace schedfilter {
+
+/// Feature indices, in the order of the paper's Table 1.
+enum FeatureIndex : unsigned {
+  FeatBBLen = 0,  ///< Number of instructions in the block.
+  FeatBranch,     ///< Fraction that are branches.
+  FeatCall,       ///< Fraction that are calls.
+  FeatLoad,       ///< Fraction that are loads.
+  FeatStore,      ///< Fraction that are stores.
+  FeatReturn,     ///< Fraction that are returns.
+  FeatInteger,    ///< Fraction using an integer functional unit.
+  FeatFloat,      ///< Fraction using the floating-point unit.
+  FeatSystem,     ///< Fraction using the system unit.
+  FeatPEI,        ///< Fraction that are potentially excepting.
+  FeatGC,         ///< Fraction that are GC points.
+  FeatTS,         ///< Fraction that are thread-switch points.
+  FeatYield,      ///< Fraction that are yield points.
+  NumFeatures
+};
+
+/// A block's feature vector.  Index 0 (bbLen) is a count; all others are
+/// fractions in [0, 1].
+using FeatureVector = std::array<double, NumFeatures>;
+
+/// Short lowercase name of feature \p F as used in rule printouts
+/// ("bbLen", "calls", "loads", ...), matching the paper's Figure 4.
+const char *getFeatureName(unsigned F);
+
+/// Extracts the Table 1 features of \p BB in one pass.
+FeatureVector extractFeatures(const BasicBlock &BB);
+
+/// Deterministic work-unit cost of extracting features for \p BB: one unit
+/// per instruction plus a constant.  Mirrors ListScheduler work units so
+/// filter cost and scheduling cost are comparable.
+uint64_t featureExtractionWork(const BasicBlock &BB);
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_FEATURES_FEATURES_H

@@ -1,0 +1,34 @@
+//===- filter/ScheduleFilter.cpp - Online whether-to-schedule ---------------===//
+
+#include "filter/ScheduleFilter.h"
+
+using namespace schedfilter;
+
+bool ScheduleFilter::shouldSchedule(const BasicBlock &BB) {
+  // O(1) rejection for blocks no rule can match.
+  if (static_cast<double>(BB.size()) < BBLenGate) {
+    ++Work;
+    bool Schedule = Rules.getDefaultClass() == Label::LS;
+    if (Schedule)
+      ++NumLS;
+    else
+      ++NumNS;
+    return Schedule;
+  }
+
+  FeatureVector X = extractFeatures(BB);
+  Work += featureExtractionWork(BB);
+  Work += Rules.predictionWork(X);
+  bool Schedule = Rules.predict(X) == Label::LS;
+  if (Schedule)
+    ++NumLS;
+  else
+    ++NumNS;
+  return Schedule;
+}
+
+bool ScheduleFilter::shouldSchedule(const BasicBlock &BB) const {
+  if (static_cast<double>(BB.size()) < BBLenGate)
+    return Rules.getDefaultClass() == Label::LS;
+  return Rules.predict(extractFeatures(BB)) == Label::LS;
+}

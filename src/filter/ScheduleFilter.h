@@ -1,0 +1,59 @@
+//===- filter/ScheduleFilter.h - Online whether-to-schedule ------*- C++ -*-===//
+///
+/// \file
+/// The installed heuristic: given a basic block, compute its Table 1
+/// features and evaluate the induced rule set; the first matching rule
+/// (conclusion LS) means "run the list scheduler on this block", the
+/// default (NS) means "leave it alone".  Mirrors §2.2's final step of
+/// installing the learned function in the compiler and applying it online.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_FILTER_SCHEDULEFILTER_H
+#define SCHEDFILTER_FILTER_SCHEDULEFILTER_H
+
+#include "features/Features.h"
+#include "ml/Rule.h"
+
+namespace schedfilter {
+
+/// Wraps an induced RuleSet as an online block filter.
+class ScheduleFilter {
+public:
+  explicit ScheduleFilter(RuleSet RS)
+      : Rules(std::move(RS)), BBLenGate(Rules.minMatchableBBLen()) {}
+
+  /// True if the filter predicts the block benefits from scheduling.
+  /// Accumulates decision counters and deterministic work units.
+  ///
+  /// Fast path: blocks shorter than the rule set's minimum matchable
+  /// length resolve to the default class with a single comparison and no
+  /// feature extraction (see RuleSet::minMatchableBBLen).
+  bool shouldSchedule(const BasicBlock &BB);
+
+  /// Const query without statistics (for tests).
+  bool shouldSchedule(const BasicBlock &BB) const;
+
+  const RuleSet &ruleSet() const { return Rules; }
+
+  /// Decision counters (since construction or resetStats()).
+  uint64_t numScheduleDecisions() const { return NumLS; }
+  uint64_t numSkipDecisions() const { return NumNS; }
+
+  /// Deterministic cost of all decisions so far: feature-pass units plus
+  /// rule conditions evaluated; comparable with scheduler work units.
+  uint64_t workUnits() const { return Work; }
+
+  void resetStats() { NumLS = NumNS = Work = 0; }
+
+private:
+  RuleSet Rules;
+  double BBLenGate;
+  uint64_t NumLS = 0;
+  uint64_t NumNS = 0;
+  uint64_t Work = 0;
+};
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_FILTER_SCHEDULEFILTER_H

@@ -1,0 +1,100 @@
+//===- harness/Experiments.h - Paper experiment drivers ---------*- C++ -*-===//
+///
+/// \file
+/// Drivers that reproduce the paper's evaluation: generate the benchmark
+/// suites, collect per-block raw records (features + simulated cost with
+/// and without list scheduling + profile weight), run leave-one-out
+/// cross-validated training at each threshold t, and package everything
+/// Tables 3-6 and Figures 1-3 need.  The bench/ binaries are thin wrappers
+/// over these functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_HARNESS_EXPERIMENTS_H
+#define SCHEDFILTER_HARNESS_EXPERIMENTS_H
+
+#include "filter/Pipeline.h"
+#include "ml/CrossValidation.h"
+#include "ml/Labeler.h"
+#include "workloads/ProgramGenerator.h"
+
+namespace schedfilter {
+
+/// One benchmark, fully instrumented: its program, the raw per-block
+/// records (the paper's trace file), and its two fixed-policy compile
+/// reports.
+struct BenchmarkRun {
+  std::string Name;
+  Program Prog;
+  std::vector<BlockRecord> Records;
+  CompileReport NeverReport;  ///< NS: baseline SIM time, zero effort.
+  CompileReport AlwaysReport; ///< LS: full effort, best-effort SIM time.
+
+  BenchmarkRun() : Prog("") {}
+};
+
+/// Generates programs for \p Suite, simulates every block unscheduled and
+/// list-scheduled (the instrumented-scheduler step of §2.2), and compiles
+/// each program under the NS and LS fixed policies.
+std::vector<BenchmarkRun>
+generateSuiteData(const std::vector<BenchmarkSpec> &Suite,
+                  const MachineModel &Model);
+
+/// Labels every benchmark's records at threshold \p ThresholdPct (dropping
+/// the (0, t] noise band), one Dataset per benchmark, in suite order.
+std::vector<Dataset> labelSuite(const std::vector<BenchmarkRun> &Suite,
+                                double ThresholdPct);
+
+/// Everything measured at one threshold value, per benchmark (parallel
+/// arrays in suite order) plus suite-level aggregates.
+struct ThresholdResult {
+  double ThresholdPct = 0.0;
+  std::vector<std::string> Names;
+
+  /// Table 3: LOOCV classification error, percent.
+  std::vector<double> ErrorPct;
+  /// Table 4: predicted (simulated) execution time as a percent of
+  /// unscheduled, using each benchmark's cross-validated filter.
+  std::vector<double> PredictedTimePct;
+  /// Table 5 aggregates: labeled training-set sizes summed over the suite.
+  size_t TrainLS = 0;
+  size_t TrainNS = 0;
+  /// Table 6 aggregates: run-time classification of every block by the
+  /// held-out benchmark's own filter, summed over the suite.
+  size_t RuntimeLS = 0;
+  size_t RuntimeNS = 0;
+
+  /// Figures (a): scheduling effort of L/N relative to LS, per benchmark.
+  std::vector<double> EffortRatioWork; ///< deterministic work units
+  std::vector<double> EffortRatioWall; ///< measured wall time
+  /// Figures (b): application (simulated) running time relative to NS.
+  std::vector<double> AppRatioLN; ///< L/N filter
+  std::vector<double> AppRatioLS; ///< always-schedule, threshold-invariant
+
+  /// The cross-validated filter per benchmark (for Figure 4 printing and
+  /// the tests).
+  std::vector<RuleSet> Filters;
+};
+
+/// Runs the full experiment at one threshold: label, LOOCV-train with
+/// \p Learner, evaluate, and compile each program under its held-out
+/// filter.
+ThresholdResult runThreshold(const std::vector<BenchmarkRun> &Suite,
+                             double ThresholdPct, const LearnerFn &Learner);
+
+/// Sweeps thresholds (the paper uses 0..50 step 5) and returns one
+/// ThresholdResult per value.
+std::vector<ThresholdResult>
+runThresholdSweep(const std::vector<BenchmarkRun> &Suite,
+                  const std::vector<double> &Thresholds,
+                  const LearnerFn &Learner);
+
+/// The paper's threshold grid: {0, 5, ..., 50}.
+std::vector<double> paperThresholds();
+
+/// Default learner used throughout: RIPPER with its stock options.
+LearnerFn ripperLearner();
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_HARNESS_EXPERIMENTS_H

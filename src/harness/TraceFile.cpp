@@ -1,0 +1,79 @@
+//===- harness/TraceFile.cpp - Instrumented-scheduler trace IO --------------===//
+
+#include "harness/TraceFile.h"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+using namespace schedfilter;
+
+static std::string expectedHeader() {
+  std::string H;
+  for (unsigned F = 0; F != NumFeatures; ++F) {
+    H += getFeatureName(F);
+    H += ',';
+  }
+  H += "costNoSched,costSched,execCount";
+  return H;
+}
+
+void schedfilter::writeTrace(const std::vector<BlockRecord> &Records,
+                             std::ostream &OS) {
+  OS << expectedHeader() << '\n';
+  for (const BlockRecord &R : Records) {
+    for (unsigned F = 0; F != NumFeatures; ++F)
+      OS << R.X[F] << ',';
+    OS << R.CostNoSched << ',' << R.CostSched << ',' << R.ExecCount << '\n';
+  }
+}
+
+std::optional<std::vector<BlockRecord>>
+schedfilter::readTrace(std::istream &IS) {
+  std::string Line;
+  if (!std::getline(IS, Line))
+    return std::nullopt;
+  if (!Line.empty() && Line.back() == '\r')
+    Line.pop_back();
+  if (Line != expectedHeader())
+    return std::nullopt;
+
+  std::vector<BlockRecord> Records;
+  while (std::getline(IS, Line)) {
+    if (Line.empty())
+      continue;
+    std::stringstream SS(Line);
+    std::string Cell;
+    BlockRecord R;
+    auto ParseDouble = [&](double &Out) {
+      if (!std::getline(SS, Cell, ','))
+        return false;
+      char *End = nullptr;
+      Out = std::strtod(Cell.c_str(), &End);
+      return End == Cell.c_str() + Cell.size() && !Cell.empty();
+    };
+    bool Ok = true;
+    for (unsigned F = 0; F != NumFeatures && Ok; ++F)
+      Ok = ParseDouble(R.X[F]);
+    double CostNo = 0, CostLS = 0, Exec = 0;
+    Ok = Ok && ParseDouble(CostNo) && ParseDouble(CostLS);
+    // execCount is the last cell: read to end of line.
+    if (Ok) {
+      if (!std::getline(SS, Cell))
+        Ok = false;
+      else {
+        char *End = nullptr;
+        Exec = std::strtod(Cell.c_str(), &End);
+        Ok = End == Cell.c_str() + Cell.size() && !Cell.empty();
+      }
+    }
+    if (!Ok || CostNo < 0 || CostLS < 0 || Exec < 0)
+      return std::nullopt;
+    R.CostNoSched = static_cast<uint64_t>(CostNo);
+    R.CostSched = static_cast<uint64_t>(CostLS);
+    R.ExecCount = static_cast<uint64_t>(Exec);
+    Records.push_back(R);
+  }
+  return Records;
+}

@@ -1,0 +1,33 @@
+//===- harness/TraceFile.h - Instrumented-scheduler trace IO ----*- C++ -*-===//
+///
+/// \file
+/// Reading and writing the raw trace the instrumented scheduler produces
+/// (§2.2): one row per block with the Table 1 features, the simulated
+/// cost without and with list scheduling, and the profile weight.  Having
+/// the trace on disk decouples the (expensive) tracing run from the
+/// (cheap, repeatable) labeling + learning experiments, exactly as the
+/// paper's offline procedure does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_HARNESS_TRACEFILE_H
+#define SCHEDFILTER_HARNESS_TRACEFILE_H
+
+#include "ml/Labeler.h"
+
+#include <iosfwd>
+#include <optional>
+
+namespace schedfilter {
+
+/// Writes \p Records as CSV with a header row:
+/// bbLen,...,yieldpoints,costNoSched,costSched,execCount
+void writeTrace(const std::vector<BlockRecord> &Records, std::ostream &OS);
+
+/// Parses a trace written by writeTrace; std::nullopt on malformed input
+/// (wrong header, wrong column count, non-numeric cells).
+std::optional<std::vector<BlockRecord>> readTrace(std::istream &IS);
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_HARNESS_TRACEFILE_H

@@ -1,0 +1,25 @@
+//===- mir/BasicBlock.cpp - Straight-line code block ----------------------===//
+
+#include "mir/BasicBlock.h"
+
+#include <cassert>
+
+using namespace schedfilter;
+
+BasicBlock BasicBlock::reordered(const std::vector<int> &Order) const {
+  assert(Order.size() == Insts.size() && "order must cover every instruction");
+  BasicBlock BB(Name, ExecCount);
+  for (int Idx : Order) {
+    assert(Idx >= 0 && static_cast<size_t>(Idx) < Insts.size() &&
+           "order index out of range");
+    BB.append(Insts[static_cast<size_t>(Idx)]);
+  }
+  return BB;
+}
+
+std::string BasicBlock::toString() const {
+  std::string S = Name + " (x" + std::to_string(ExecCount) + "):\n";
+  for (const Instruction &I : Insts)
+    S += "  " + I.toString() + "\n";
+  return S;
+}

@@ -1,0 +1,12 @@
+//===- mir/Method.cpp - Compiled method ------------------------------------===//
+
+#include "mir/Method.h"
+
+using namespace schedfilter;
+
+size_t Method::totalInstructions() const {
+  size_t N = 0;
+  for (const BasicBlock &BB : Blocks)
+    N += BB.size();
+  return N;
+}

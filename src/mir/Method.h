@@ -1,0 +1,49 @@
+//===- mir/Method.h - Compiled method ---------------------------*- C++ -*-===//
+///
+/// \file
+/// A method: a named list of basic blocks, mirroring how the paper's JIT
+/// presents each compiled Java method to the instruction scheduler block by
+/// block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_MIR_METHOD_H
+#define SCHEDFILTER_MIR_METHOD_H
+
+#include "mir/BasicBlock.h"
+
+namespace schedfilter {
+
+/// A named sequence of basic blocks.
+class Method {
+public:
+  explicit Method(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+
+  void addBlock(BasicBlock BB) { Blocks.push_back(std::move(BB)); }
+
+  size_t size() const { return Blocks.size(); }
+
+  const BasicBlock &operator[](size_t I) const { return Blocks[I]; }
+  BasicBlock &operator[](size_t I) { return Blocks[I]; }
+
+  std::vector<BasicBlock>::const_iterator begin() const {
+    return Blocks.begin();
+  }
+  std::vector<BasicBlock>::const_iterator end() const { return Blocks.end(); }
+
+  std::vector<BasicBlock> &blocks() { return Blocks; }
+  const std::vector<BasicBlock> &blocks() const { return Blocks; }
+
+  /// Total instruction count across all blocks.
+  size_t totalInstructions() const;
+
+private:
+  std::string Name;
+  std::vector<BasicBlock> Blocks;
+};
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_MIR_METHOD_H

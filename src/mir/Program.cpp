@@ -1,0 +1,26 @@
+//===- mir/Program.cpp - Whole benchmark program ---------------------------===//
+
+#include "mir/Program.h"
+
+using namespace schedfilter;
+
+size_t Program::totalBlocks() const {
+  size_t N = 0;
+  for (const Method &M : Methods)
+    N += M.size();
+  return N;
+}
+
+size_t Program::totalInstructions() const {
+  size_t N = 0;
+  for (const Method &M : Methods)
+    N += M.totalInstructions();
+  return N;
+}
+
+void Program::forEachBlock(
+    const std::function<void(const BasicBlock &)> &Fn) const {
+  for (const Method &M : Methods)
+    for (const BasicBlock &BB : M)
+      Fn(BB);
+}

@@ -1,0 +1,55 @@
+//===- mir/Program.h - Whole benchmark program ------------------*- C++ -*-===//
+///
+/// \file
+/// A program: a named collection of methods, corresponding to one benchmark
+/// (e.g. "compress").  The experiment harness compiles programs under
+/// different scheduling policies and compares compile effort and simulated
+/// application time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_MIR_PROGRAM_H
+#define SCHEDFILTER_MIR_PROGRAM_H
+
+#include "mir/Method.h"
+
+#include <functional>
+
+namespace schedfilter {
+
+/// A named collection of methods.
+class Program {
+public:
+  explicit Program(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+
+  void addMethod(Method M) { Methods.push_back(std::move(M)); }
+
+  size_t size() const { return Methods.size(); }
+
+  const Method &operator[](size_t I) const { return Methods[I]; }
+  Method &operator[](size_t I) { return Methods[I]; }
+
+  std::vector<Method>::const_iterator begin() const { return Methods.begin(); }
+  std::vector<Method>::const_iterator end() const { return Methods.end(); }
+
+  std::vector<Method> &methods() { return Methods; }
+
+  /// Total number of basic blocks across all methods.
+  size_t totalBlocks() const;
+
+  /// Total number of instructions across all methods.
+  size_t totalInstructions() const;
+
+  /// Calls \p Fn on every block, in method order then block order.
+  void forEachBlock(const std::function<void(const BasicBlock &)> &Fn) const;
+
+private:
+  std::string Name;
+  std::vector<Method> Methods;
+};
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_MIR_PROGRAM_H

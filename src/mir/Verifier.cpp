@@ -1,0 +1,43 @@
+//===- mir/Verifier.cpp - Structural IR checks -----------------------------===//
+
+#include "mir/Verifier.h"
+
+using namespace schedfilter;
+
+VerifyResult schedfilter::verifyBlock(const BasicBlock &BB) {
+  for (size_t I = 0, E = BB.size(); I != E; ++I) {
+    const Instruction &Inst = BB[I];
+    const OpcodeInfo &Info = Inst.getInfo();
+    if (Inst.defs().size() != Info.NumDefs)
+      return VerifyResult::fail(BB.getName() + ": '" + Info.Name +
+                                "' expects " + std::to_string(Info.NumDefs) +
+                                " def(s), has " +
+                                std::to_string(Inst.defs().size()));
+    if (Info.IsTerminator && I + 1 != E)
+      return VerifyResult::fail(BB.getName() + ": terminator '" + Info.Name +
+                                "' is not the last instruction");
+  }
+  return VerifyResult::pass();
+}
+
+VerifyResult schedfilter::verifyMethod(const Method &M) {
+  for (const BasicBlock &BB : M) {
+    VerifyResult R = verifyBlock(BB);
+    if (!R.Ok) {
+      R.Message = M.getName() + "." + R.Message;
+      return R;
+    }
+  }
+  return VerifyResult::pass();
+}
+
+VerifyResult schedfilter::verifyProgram(const Program &P) {
+  for (const Method &M : P) {
+    VerifyResult R = verifyMethod(M);
+    if (!R.Ok) {
+      R.Message = P.getName() + "." + R.Message;
+      return R;
+    }
+  }
+  return VerifyResult::pass();
+}

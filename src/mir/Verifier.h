@@ -1,0 +1,41 @@
+//===- mir/Verifier.h - Structural IR checks --------------------*- C++ -*-===//
+///
+/// \file
+/// Structural well-formedness checks for the IR: terminators must be last,
+/// def counts must match opcode metadata, and uses must be defined before
+/// use or be live-in (registers below the block's live-in boundary).  The
+/// generator and tests run the verifier on everything they build.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_MIR_VERIFIER_H
+#define SCHEDFILTER_MIR_VERIFIER_H
+
+#include "mir/Program.h"
+
+#include <string>
+
+namespace schedfilter {
+
+/// Result of verification: Ok == true, or a description of the first
+/// violation found.
+struct VerifyResult {
+  bool Ok = true;
+  std::string Message;
+
+  static VerifyResult pass() { return {}; }
+  static VerifyResult fail(std::string Msg) { return {false, std::move(Msg)}; }
+};
+
+/// Verifies one block.
+VerifyResult verifyBlock(const BasicBlock &BB);
+
+/// Verifies every block of \p M.
+VerifyResult verifyMethod(const Method &M);
+
+/// Verifies every method of \p P.
+VerifyResult verifyProgram(const Program &P);
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_MIR_VERIFIER_H

@@ -1,0 +1,148 @@
+//===- ml/Baselines.cpp - Trivial comparison policies -----------------------===//
+
+#include "ml/Baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace schedfilter;
+
+RuleSet schedfilter::makeAlwaysSchedule() {
+  RuleSet RS(Label::NS);
+  Rule R;
+  R.Conclusion = Label::LS; // empty antecedent matches everything
+  RS.addRule(std::move(R));
+  return RS;
+}
+
+RuleSet schedfilter::makeNeverSchedule() { return RuleSet(Label::NS); }
+
+namespace {
+
+/// Finds the best single-feature threshold rule on feature \p F.
+/// Returns the number of training errors and fills the out-parameters.
+size_t bestSplitOnFeature(const Dataset &Data, unsigned F, bool &IsLessEqual,
+                          double &Threshold, Label &ThenClass) {
+  // Sort (value, label) pairs and sweep thresholds between distinct values.
+  std::vector<std::pair<double, Label>> Vals;
+  Vals.reserve(Data.size());
+  size_t TotalLS = 0;
+  for (const Instance &I : Data) {
+    Vals.push_back({I.X[F], I.Y});
+    if (I.Y == Label::LS)
+      ++TotalLS;
+  }
+  std::sort(Vals.begin(), Vals.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  size_t TotalNS = Vals.size() - TotalLS;
+
+  // Majority-class fallback.
+  size_t BestErrors = std::min(TotalLS, TotalNS);
+  IsLessEqual = true;
+  Threshold = Vals.empty() ? 0.0 : Vals.front().first;
+  ThenClass = TotalLS > TotalNS ? Label::LS : Label::NS;
+
+  size_t PrefLS = 0, PrefNS = 0;
+  for (size_t I = 0; I != Vals.size();) {
+    double V = Vals[I].first;
+    while (I != Vals.size() && Vals[I].first == V) {
+      if (Vals[I].second == Label::LS)
+        ++PrefLS;
+      else
+        ++PrefNS;
+      ++I;
+    }
+    if (I == Vals.size())
+      break; // threshold at the max value splits nothing
+    // Split: X <= V -> class A, else class B.  Four assignments, two are
+    // complements; evaluate "<= V is LS" and "<= V is NS".
+    size_t ErrLELS = PrefNS + (TotalLS - PrefLS);
+    size_t ErrLENS = PrefLS + (TotalNS - PrefNS);
+    if (ErrLELS < BestErrors) {
+      BestErrors = ErrLELS;
+      IsLessEqual = true;
+      Threshold = V;
+      ThenClass = Label::LS;
+    }
+    if (ErrLENS < BestErrors) {
+      BestErrors = ErrLENS;
+      IsLessEqual = true;
+      Threshold = V;
+      ThenClass = Label::NS;
+    }
+  }
+  return BestErrors;
+}
+
+/// Builds a one-rule RuleSet: "if X[F] <=/>= T then ThenClass else the
+/// opposite class".  Expressed with the rule for LS so the pipeline's
+/// schedule decision stays "first matching rule says LS".
+RuleSet makeStump(unsigned F, bool IsLessEqual, double Threshold,
+                  Label ThenClass) {
+  RuleSet RS(Label::NS);
+  Rule R;
+  R.Conclusion = Label::LS;
+  if (ThenClass == Label::LS) {
+    R.Conditions.push_back({F, IsLessEqual, Threshold});
+  } else {
+    // "if cond then NS else LS" == "if !cond then LS else NS".  For
+    // continuous features the strict complement of <= T is > T; we encode
+    // it as >= nextafter(T) to stay within the <=/>= language.
+    double Nudged = std::nextafter(Threshold, IsLessEqual
+                                                  ? 1e308
+                                                  : -1e308);
+    R.Conditions.push_back({F, !IsLessEqual, Nudged});
+  }
+  RS.addRule(std::move(R));
+  return RS;
+}
+
+} // namespace
+
+/// Errors of the best constant (majority-class) predictor.
+static size_t majorityErrors(const Dataset &Data, Label &Majority) {
+  size_t LS = Data.countLabel(Label::LS);
+  size_t NS = Data.size() - LS;
+  Majority = LS > NS ? Label::LS : Label::NS;
+  return std::min(LS, NS);
+}
+
+RuleSet schedfilter::learnSizeStump(const Dataset &Data) {
+  if (Data.empty())
+    return makeNeverSchedule();
+  bool IsLE;
+  double T;
+  Label Then;
+  size_t Errors = bestSplitOnFeature(Data, FeatBBLen, IsLE, T, Then);
+  Label Majority;
+  if (Errors >= majorityErrors(Data, Majority))
+    return Majority == Label::LS ? makeAlwaysSchedule() : makeNeverSchedule();
+  return makeStump(FeatBBLen, IsLE, T, Then);
+}
+
+RuleSet schedfilter::learnOneR(const Dataset &Data) {
+  if (Data.empty())
+    return makeNeverSchedule();
+  size_t BestErrors = Data.size() + 1;
+  unsigned BestF = FeatBBLen;
+  bool BestLE = true;
+  double BestT = 0.0;
+  Label BestThen = Label::NS;
+  for (unsigned F = 0; F != NumFeatures; ++F) {
+    bool IsLE;
+    double T;
+    Label Then;
+    size_t Errors = bestSplitOnFeature(Data, F, IsLE, T, Then);
+    if (Errors < BestErrors) {
+      BestErrors = Errors;
+      BestF = F;
+      BestLE = IsLE;
+      BestT = T;
+      BestThen = Then;
+    }
+  }
+  Label Majority;
+  if (BestErrors >= majorityErrors(Data, Majority))
+    return Majority == Label::LS ? makeAlwaysSchedule() : makeNeverSchedule();
+  return makeStump(BestF, BestLE, BestT, BestThen);
+}

@@ -1,0 +1,37 @@
+//===- ml/Baselines.h - Trivial comparison policies --------------*- C++ -*-===//
+///
+/// \file
+/// Baseline "learners" the ablation benchmarks compare RIPPER against:
+/// the paper's two fixed strategies (always schedule / never schedule) and
+/// two cheap learned baselines — a block-size decision stump and Holte's
+/// 1R (the best single-feature threshold split).  All produce RuleSets so
+/// the rest of the pipeline treats them uniformly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_ML_BASELINES_H
+#define SCHEDFILTER_ML_BASELINES_H
+
+#include "ml/Rule.h"
+
+namespace schedfilter {
+
+/// A filter that schedules every block (the paper's LS strategy).
+RuleSet makeAlwaysSchedule();
+
+/// A filter that schedules no block (the paper's NS strategy).
+RuleSet makeNeverSchedule();
+
+/// Learns the best single threshold on bbLen: "schedule iff bbLen >= k",
+/// choosing k to minimize training error.  Returns NeverSchedule when no
+/// split beats the majority class.
+RuleSet learnSizeStump(const Dataset &Data);
+
+/// Holte's 1R restricted to one threshold: picks the (feature, direction,
+/// threshold) triple minimizing training error.  Generalizes the stump to
+/// all 13 features.
+RuleSet learnOneR(const Dataset &Data);
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_ML_BASELINES_H

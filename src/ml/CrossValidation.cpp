@@ -1,0 +1,30 @@
+//===- ml/CrossValidation.cpp - Leave-one-out over benchmarks ---------------===//
+
+#include "ml/CrossValidation.h"
+
+using namespace schedfilter;
+
+std::vector<LoocvFold>
+schedfilter::leaveOneOut(const std::vector<Dataset> &PerBenchmark,
+                         const LearnerFn &Learner) {
+  std::vector<LoocvFold> Folds;
+  Folds.reserve(PerBenchmark.size());
+  for (size_t Held = 0; Held != PerBenchmark.size(); ++Held) {
+    Dataset Train("train-without-" + PerBenchmark[Held].getName());
+    for (size_t J = 0; J != PerBenchmark.size(); ++J)
+      if (J != Held)
+        Train.append(PerBenchmark[J]);
+    Folds.push_back({PerBenchmark[Held].getName(), Learner(Train)});
+  }
+  return Folds;
+}
+
+std::vector<LoocvFold>
+schedfilter::selfTrain(const std::vector<Dataset> &PerBenchmark,
+                       const LearnerFn &Learner) {
+  std::vector<LoocvFold> Folds;
+  Folds.reserve(PerBenchmark.size());
+  for (const Dataset &D : PerBenchmark)
+    Folds.push_back({D.getName(), Learner(D)});
+  return Folds;
+}

@@ -1,0 +1,44 @@
+//===- ml/CrossValidation.h - Leave-one-out over benchmarks -----*- C++ -*-===//
+///
+/// \file
+/// The paper's evaluation methodology (§3): leave-one-out cross-validation
+/// *by benchmark program* — to evaluate on benchmark i, train on the
+/// instances of the other n-1 benchmarks, never on benchmark i's own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_ML_CROSSVALIDATION_H
+#define SCHEDFILTER_ML_CROSSVALIDATION_H
+
+#include "ml/Rule.h"
+
+#include <functional>
+#include <vector>
+
+namespace schedfilter {
+
+/// A learner: trains a RuleSet from a dataset.
+using LearnerFn = std::function<RuleSet(const Dataset &)>;
+
+/// One leave-one-out fold result.
+struct LoocvFold {
+  /// Name of the held-out benchmark (== its dataset's name).
+  std::string HeldOut;
+  /// Filter trained on the other benchmarks.
+  RuleSet Filter;
+};
+
+/// Runs leave-one-out cross-validation: for each dataset i in
+/// \p PerBenchmark, trains \p Learner on the concatenation of all others
+/// and pairs the result with dataset i's name.  Order follows the input.
+std::vector<LoocvFold> leaveOneOut(const std::vector<Dataset> &PerBenchmark,
+                                   const LearnerFn &Learner);
+
+/// Self-training upper bound discussed in the paper's footnote: train and
+/// name one fold per benchmark, trained on that benchmark itself.
+std::vector<LoocvFold> selfTrain(const std::vector<Dataset> &PerBenchmark,
+                                 const LearnerFn &Learner);
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_ML_CROSSVALIDATION_H

@@ -1,0 +1,71 @@
+//===- ml/Dataset.cpp - Training/test instances ----------------------------===//
+
+#include "ml/Dataset.h"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+using namespace schedfilter;
+
+const char *schedfilter::getLabelName(Label L) {
+  return L == Label::LS ? "LS" : "NS";
+}
+
+void Dataset::append(const Dataset &Other) {
+  Instances.insert(Instances.end(), Other.Instances.begin(),
+                   Other.Instances.end());
+}
+
+size_t Dataset::countLabel(Label L) const {
+  size_t N = 0;
+  for (const Instance &I : Instances)
+    if (I.Y == L)
+      ++N;
+  return N;
+}
+
+void Dataset::writeCsv(std::ostream &OS) const {
+  for (unsigned F = 0; F != NumFeatures; ++F)
+    OS << getFeatureName(F) << ',';
+  OS << "label\n";
+  for (const Instance &I : Instances) {
+    for (unsigned F = 0; F != NumFeatures; ++F)
+      OS << I.X[F] << ',';
+    OS << getLabelName(I.Y) << '\n';
+  }
+}
+
+bool Dataset::readCsv(std::istream &IS) {
+  std::vector<Instance> Parsed;
+  std::string Line;
+  if (!std::getline(IS, Line))
+    return false; // missing header
+  while (std::getline(IS, Line)) {
+    if (Line.empty())
+      continue;
+    std::istringstream SS(Line);
+    Instance Inst;
+    std::string Cell;
+    for (unsigned F = 0; F != NumFeatures; ++F) {
+      if (!std::getline(SS, Cell, ','))
+        return false;
+      char *End = nullptr;
+      Inst.X[F] = std::strtod(Cell.c_str(), &End);
+      if (End == Cell.c_str())
+        return false;
+    }
+    if (!std::getline(SS, Cell))
+      return false;
+    if (Cell == "LS")
+      Inst.Y = Label::LS;
+    else if (Cell == "NS")
+      Inst.Y = Label::NS;
+    else
+      return false;
+    Parsed.push_back(Inst);
+  }
+  Instances = std::move(Parsed);
+  return true;
+}

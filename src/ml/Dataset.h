@@ -1,0 +1,72 @@
+//===- ml/Dataset.h - Training/test instances --------------------*- C++ -*-===//
+///
+/// \file
+/// Labeled instances for the whether-to-schedule learning problem.  Each
+/// instance is one basic block: a feature vector plus a boolean class
+/// label, LS (schedule) or NS (don't schedule), per the paper's §2.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_ML_DATASET_H
+#define SCHEDFILTER_ML_DATASET_H
+
+#include "features/Features.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace schedfilter {
+
+/// Class labels.  NS first so that "default class" logic reads naturally.
+enum class Label : uint8_t { NS = 0, LS = 1 };
+
+/// Returns "LS" or "NS".
+const char *getLabelName(Label L);
+
+/// One labeled block.
+struct Instance {
+  FeatureVector X;
+  Label Y;
+};
+
+/// A named bag of instances (typically: all blocks of one benchmark).
+class Dataset {
+public:
+  explicit Dataset(std::string Name = "") : Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+
+  void add(Instance I) { Instances.push_back(std::move(I)); }
+  void append(const Dataset &Other);
+
+  size_t size() const { return Instances.size(); }
+  bool empty() const { return Instances.empty(); }
+
+  const Instance &operator[](size_t I) const { return Instances[I]; }
+
+  std::vector<Instance>::const_iterator begin() const {
+    return Instances.begin();
+  }
+  std::vector<Instance>::const_iterator end() const {
+    return Instances.end();
+  }
+
+  /// Number of instances with label \p L.
+  size_t countLabel(Label L) const;
+
+  /// Writes instances as CSV: feature columns then the label name.
+  void writeCsv(std::ostream &OS) const;
+
+  /// Parses the CSV format produced by writeCsv.  Returns false (and leaves
+  /// the dataset unchanged) on malformed input.
+  bool readCsv(std::istream &IS);
+
+private:
+  std::string Name;
+  std::vector<Instance> Instances;
+};
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_ML_DATASET_H

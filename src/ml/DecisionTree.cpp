@@ -1,0 +1,281 @@
+//===- ml/DecisionTree.cpp - C4.5-style tree induction ----------------------===//
+
+#include "ml/DecisionTree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace schedfilter;
+
+/// Tree node: either an internal binary split (X[Feature] <= Threshold
+/// goes left) or a leaf with a class and training counts.
+struct DecisionTree::Node {
+  bool IsLeaf = true;
+  Label LeafClass = Label::NS;
+  size_t LeafTotal = 0;
+  size_t LeafErrors = 0;
+
+  unsigned Feature = 0;
+  double Threshold = 0.0;
+  std::unique_ptr<Node> Left;  // X[Feature] <= Threshold
+  std::unique_ptr<Node> Right; // X[Feature] >  Threshold
+};
+
+namespace {
+
+using Node = DecisionTree::Node;
+
+double entropy(size_t Pos, size_t Neg) {
+  size_t N = Pos + Neg;
+  if (N == 0 || Pos == 0 || Neg == 0)
+    return 0.0;
+  double P = static_cast<double>(Pos) / static_cast<double>(N);
+  return -(P * std::log2(P) + (1.0 - P) * std::log2(1.0 - P));
+}
+
+/// Upper confidence bound on the true error rate of a leaf that made
+/// E errors over N instances (normal approximation; C4.5's pessimistic
+/// estimate).
+double pessimisticErrors(size_t N, size_t E, double Z) {
+  if (N == 0)
+    return 0.0;
+  double F = static_cast<double>(E) / static_cast<double>(N);
+  double Nn = static_cast<double>(N);
+  double Bound = F + Z * std::sqrt(F * (1.0 - F) / Nn + 0.25 / (Nn * Nn)) +
+                 Z * Z / (2.0 * Nn);
+  return std::min(1.0, Bound) * Nn;
+}
+
+struct Builder {
+  const Dataset &D;
+  const DecisionTreeOptions &Opts;
+
+  std::unique_ptr<Node> makeLeaf(const std::vector<int> &Idx) const {
+    auto L = std::make_unique<Node>();
+    size_t Pos = 0;
+    for (int I : Idx)
+      Pos += D[static_cast<size_t>(I)].Y == Label::LS;
+    size_t Neg = Idx.size() - Pos;
+    L->IsLeaf = true;
+    L->LeafClass = Pos > Neg ? Label::LS : Label::NS;
+    L->LeafTotal = Idx.size();
+    L->LeafErrors = std::min(Pos, Neg);
+    return L;
+  }
+
+  /// Best binary split of \p Idx by information gain; returns gain (or 0
+  /// when no useful split exists) and fills Feature/Threshold.
+  double bestSplit(const std::vector<int> &Idx, unsigned &Feature,
+                   double &Threshold) const {
+    size_t Pos = 0;
+    for (int I : Idx)
+      Pos += D[static_cast<size_t>(I)].Y == Label::LS;
+    size_t Neg = Idx.size() - Pos;
+    double Base = entropy(Pos, Neg);
+    if (Base == 0.0)
+      return 0.0;
+
+    double BestGain = 0.0;
+    std::vector<std::pair<double, bool>> Vals;
+    Vals.reserve(Idx.size());
+    for (unsigned F = 0; F != NumFeatures; ++F) {
+      Vals.clear();
+      for (int I : Idx)
+        Vals.push_back({D[static_cast<size_t>(I)].X[F],
+                        D[static_cast<size_t>(I)].Y == Label::LS});
+      std::sort(Vals.begin(), Vals.end(),
+                [](const auto &A, const auto &B) { return A.first < B.first; });
+      size_t LPos = 0, LNeg = 0;
+      for (size_t I = 0; I != Vals.size();) {
+        double V = Vals[I].first;
+        while (I != Vals.size() && Vals[I].first == V) {
+          if (Vals[I].second)
+            ++LPos;
+          else
+            ++LNeg;
+          ++I;
+        }
+        if (I == Vals.size())
+          break; // splitting at the max keeps everything left
+        size_t LeftN = LPos + LNeg;
+        size_t RightN = Vals.size() - LeftN;
+        double Gain =
+            Base -
+            (static_cast<double>(LeftN) * entropy(LPos, LNeg) +
+             static_cast<double>(RightN) * entropy(Pos - LPos, Neg - LNeg)) /
+                static_cast<double>(Vals.size());
+        if (Gain > BestGain) {
+          BestGain = Gain;
+          Feature = F;
+          Threshold = V;
+        }
+      }
+    }
+    return BestGain;
+  }
+
+  std::unique_ptr<Node> build(const std::vector<int> &Idx,
+                              unsigned Depth) const {
+    if (Idx.size() < 2 * Opts.MinLeafSize || Depth >= Opts.MaxDepth)
+      return makeLeaf(Idx);
+
+    unsigned Feature = 0;
+    double Threshold = 0.0;
+    double Gain = bestSplit(Idx, Feature, Threshold);
+    if (Gain < Opts.MinGain)
+      return makeLeaf(Idx);
+
+    std::vector<int> LeftIdx, RightIdx;
+    for (int I : Idx)
+      (D[static_cast<size_t>(I)].X[Feature] <= Threshold ? LeftIdx : RightIdx)
+          .push_back(I);
+    if (LeftIdx.size() < Opts.MinLeafSize ||
+        RightIdx.size() < Opts.MinLeafSize)
+      return makeLeaf(Idx);
+
+    auto N = std::make_unique<Node>();
+    N->IsLeaf = false;
+    N->Feature = Feature;
+    N->Threshold = Threshold;
+    N->Left = build(LeftIdx, Depth + 1);
+    N->Right = build(RightIdx, Depth + 1);
+    // Keep the leaf statistics for pruning decisions at this node.
+    std::unique_ptr<Node> AsLeaf = makeLeaf(Idx);
+    N->LeafClass = AsLeaf->LeafClass;
+    N->LeafTotal = AsLeaf->LeafTotal;
+    N->LeafErrors = AsLeaf->LeafErrors;
+    return N;
+  }
+
+  /// C4.5-style subtree replacement: if the pessimistic error of the node
+  /// as a leaf is no worse than the summed pessimistic error of its
+  /// children, collapse it.
+  void prune(Node *N) const {
+    if (N->IsLeaf)
+      return;
+    prune(N->Left.get());
+    prune(N->Right.get());
+    auto SubtreeErr = [&](const Node *M, auto &&Self) -> double {
+      if (M->IsLeaf)
+        return pessimisticErrors(M->LeafTotal, M->LeafErrors, Opts.PruneZ);
+      return Self(M->Left.get(), Self) + Self(M->Right.get(), Self);
+    };
+    double Children = SubtreeErr(N, SubtreeErr);
+    double AsLeaf =
+        pessimisticErrors(N->LeafTotal, N->LeafErrors, Opts.PruneZ);
+    if (AsLeaf <= Children + 0.1) {
+      N->IsLeaf = true;
+      N->Left.reset();
+      N->Right.reset();
+    }
+  }
+};
+
+size_t countSplits(const Node *N) {
+  if (N->IsLeaf)
+    return 0;
+  return 1 + countSplits(N->Left.get()) + countSplits(N->Right.get());
+}
+
+size_t countLeaves(const Node *N) {
+  if (N->IsLeaf)
+    return 1;
+  return countLeaves(N->Left.get()) + countLeaves(N->Right.get());
+}
+
+unsigned depthOf(const Node *N) {
+  if (N->IsLeaf)
+    return 0;
+  return 1 + std::max(depthOf(N->Left.get()), depthOf(N->Right.get()));
+}
+
+void collectRules(const Node *N, std::vector<Condition> &Path,
+                  std::vector<Rule> &Out) {
+  if (N->IsLeaf) {
+    if (N->LeafClass == Label::LS) {
+      Rule R;
+      R.Conclusion = Label::LS;
+      R.Conditions = Path;
+      Out.push_back(std::move(R));
+    }
+    return;
+  }
+  Path.push_back({N->Feature, /*IsLessEqual=*/true, N->Threshold});
+  collectRules(N->Left.get(), Path, Out);
+  Path.back() = {N->Feature, /*IsLessEqual=*/false,
+                 std::nextafter(N->Threshold, 1e308)};
+  collectRules(N->Right.get(), Path, Out);
+  Path.pop_back();
+}
+
+void render(const Node *N, unsigned Indent, std::string &Out) {
+  std::string Pad(Indent * 2, ' ');
+  if (N->IsLeaf) {
+    Out += Pad + "-> " + (N->LeafClass == Label::LS ? "list" : "orig") + " (" +
+           std::to_string(N->LeafTotal - N->LeafErrors) + "/" +
+           std::to_string(N->LeafErrors) + ")\n";
+    return;
+  }
+  Condition C{N->Feature, true, N->Threshold};
+  Out += Pad + "if " + C.toString() + ":\n";
+  render(N->Left.get(), Indent + 1, Out);
+  Out += Pad + "else:\n";
+  render(N->Right.get(), Indent + 1, Out);
+}
+
+} // namespace
+
+DecisionTree::DecisionTree() = default;
+DecisionTree::DecisionTree(DecisionTree &&) noexcept = default;
+DecisionTree &DecisionTree::operator=(DecisionTree &&) noexcept = default;
+DecisionTree::~DecisionTree() = default;
+
+DecisionTree DecisionTree::train(const Dataset &Data,
+                                 DecisionTreeOptions Opts) {
+  DecisionTree T;
+  Builder B{Data, Opts};
+  std::vector<int> All(Data.size());
+  for (size_t I = 0; I != Data.size(); ++I)
+    All[I] = static_cast<int>(I);
+  if (All.empty()) {
+    T.Root = std::make_unique<Node>();
+    return T;
+  }
+  T.Root = B.build(All, 0);
+  B.prune(T.Root.get());
+  return T;
+}
+
+Label DecisionTree::predict(const FeatureVector &X) const {
+  const Node *N = Root.get();
+  while (!N->IsLeaf)
+    N = X[N->Feature] <= N->Threshold ? N->Left.get() : N->Right.get();
+  return N->LeafClass;
+}
+
+size_t DecisionTree::numSplits() const { return countSplits(Root.get()); }
+size_t DecisionTree::numLeaves() const { return countLeaves(Root.get()); }
+unsigned DecisionTree::depth() const { return depthOf(Root.get()); }
+
+RuleSet DecisionTree::toRuleSet(const Dataset &Data) const {
+  RuleSet RS(Label::NS);
+  std::vector<Condition> Path;
+  std::vector<Rule> Rules;
+  collectRules(Root.get(), Path, Rules);
+  for (Rule &R : Rules)
+    RS.addRule(std::move(R));
+  size_t DC, DI;
+  RS.annotateCoverage(Data, DC, DI);
+  return RS;
+}
+
+std::string DecisionTree::toString() const {
+  std::string Out;
+  render(Root.get(), 0, Out);
+  return Out;
+}
+
+RuleSet schedfilter::learnDecisionTreeRules(const Dataset &Data) {
+  return DecisionTree::train(Data).toRuleSet(Data);
+}

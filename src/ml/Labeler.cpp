@@ -1,0 +1,34 @@
+//===- ml/Labeler.cpp - Threshold labeling of raw block records ------------===//
+
+#include "ml/Labeler.h"
+
+using namespace schedfilter;
+
+double schedfilter::schedulingBenefitPercent(const BlockRecord &R) {
+  if (R.CostNoSched == 0)
+    return 0.0;
+  return 100.0 *
+         (static_cast<double>(R.CostNoSched) -
+          static_cast<double>(R.CostSched)) /
+         static_cast<double>(R.CostNoSched);
+}
+
+std::optional<Label>
+schedfilter::labelWithThreshold(const BlockRecord &R, double ThresholdPct) {
+  double Benefit = schedulingBenefitPercent(R);
+  if (Benefit > ThresholdPct)
+    return Label::LS;
+  if (Benefit <= 0.0)
+    return Label::NS;
+  return std::nullopt; // benefit in (0, t]: dropped as noise
+}
+
+Dataset schedfilter::buildDataset(const std::vector<BlockRecord> &Records,
+                                  double ThresholdPct,
+                                  const std::string &Name) {
+  Dataset D(Name);
+  for (const BlockRecord &R : Records)
+    if (std::optional<Label> L = labelWithThreshold(R, ThresholdPct))
+      D.add({R.X, *L});
+  return D;
+}

@@ -1,0 +1,49 @@
+//===- ml/Metrics.cpp - Classifier evaluation -------------------------------===//
+
+#include "ml/Metrics.h"
+
+using namespace schedfilter;
+
+double ConfusionMatrix::errorRate() const {
+  size_t N = total();
+  if (N == 0)
+    return 0.0;
+  return static_cast<double>(errors()) / static_cast<double>(N);
+}
+
+double ConfusionMatrix::precision() const {
+  size_t Denom = TruePos + FalsePos;
+  if (Denom == 0)
+    return 0.0;
+  return static_cast<double>(TruePos) / static_cast<double>(Denom);
+}
+
+double ConfusionMatrix::recall() const {
+  size_t Denom = TruePos + FalseNeg;
+  if (Denom == 0)
+    return 0.0;
+  return static_cast<double>(TruePos) / static_cast<double>(Denom);
+}
+
+ConfusionMatrix schedfilter::evaluate(const RuleSet &RS, const Dataset &Data) {
+  ConfusionMatrix M;
+  for (const Instance &I : Data) {
+    Label Pred = RS.predict(I.X);
+    if (I.Y == Label::LS) {
+      if (Pred == Label::LS)
+        ++M.TruePos;
+      else
+        ++M.FalseNeg;
+    } else {
+      if (Pred == Label::LS)
+        ++M.FalsePos;
+      else
+        ++M.TrueNeg;
+    }
+  }
+  return M;
+}
+
+double schedfilter::errorRatePercent(const RuleSet &RS, const Dataset &Data) {
+  return 100.0 * evaluate(RS, Data).errorRate();
+}

@@ -1,0 +1,458 @@
+//===- ml/Ripper.cpp - RIPPER rule induction --------------------------------===//
+
+#include "ml/Ripper.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+using namespace schedfilter;
+
+namespace {
+
+/// Index-based view: all algorithms below manipulate vectors of instance
+/// indices into one Dataset.
+using IndexList = std::vector<int>;
+
+/// log2 of the binomial coefficient C(n, k), via lgamma for stability.
+double log2Binomial(size_t N, size_t K) {
+  if (K > N)
+    return 0.0;
+  double L = std::lgamma(static_cast<double>(N) + 1.0) -
+             std::lgamma(static_cast<double>(K) + 1.0) -
+             std::lgamma(static_cast<double>(N - K) + 1.0);
+  return L / std::log(2.0);
+}
+
+/// Bits to identify which K of N elements are exceptions (Quinlan-style
+/// two-part exception code).
+double subsetDL(size_t N, size_t K) {
+  if (N == 0)
+    return 0.0;
+  return std::log2(static_cast<double>(N) + 1.0) + log2Binomial(N, K);
+}
+
+/// Deterministic Fisher-Yates shuffle.
+void shuffle(IndexList &V, Rng &R) {
+  for (size_t I = V.size(); I > 1; --I)
+    std::swap(V[I - 1], V[R.below(static_cast<uint32_t>(I))]);
+}
+
+/// Counts how many of \p Indices the rule matches, split by class.
+void countCoverage(const Dataset &D, const Rule &R, const IndexList &Pos,
+                   const IndexList &Neg, size_t &P, size_t &N) {
+  P = N = 0;
+  for (int I : Pos)
+    if (R.matches(D[static_cast<size_t>(I)].X))
+      ++P;
+  for (int I : Neg)
+    if (R.matches(D[static_cast<size_t>(I)].X))
+      ++N;
+}
+
+/// The whole learning state threaded through the helper routines.
+struct Trainer {
+  const Dataset &D;
+  const RipperOptions &Opts;
+  Label Target;
+  double CondSpaceBits; // log2(#possible conditions), for the theory DL
+
+  Trainer(const Dataset &Data, const RipperOptions &O, Label Tgt)
+      : D(Data), Opts(O), Target(Tgt) {
+    // Estimate the size of the condition space: two operators per distinct
+    // (feature, value) pair present in the data.
+    size_t NumConds = 0;
+    for (unsigned F = 0; F != NumFeatures; ++F) {
+      std::set<double> Distinct;
+      for (const Instance &I : D)
+        Distinct.insert(I.X[F]);
+      NumConds += 2 * Distinct.size();
+    }
+    CondSpaceBits = std::log2(std::max<double>(2.0, static_cast<double>(NumConds)));
+  }
+
+  bool isPos(int I) const { return D[static_cast<size_t>(I)].Y == Target; }
+
+  /// Theory cost of one rule (Cohen's redundancy-adjusted encoding).
+  double ruleDL(const Rule &R) const {
+    double K = static_cast<double>(R.size());
+    return 0.5 * (std::log2(K + 1.0) + K * CondSpaceBits);
+  }
+
+  /// Total description length of \p Rules as a classifier for the
+  /// instances \p Pos and \p Neg: theory bits plus exception bits for the
+  /// false positives among covered and false negatives among uncovered.
+  double totalDL(const std::vector<Rule> &Rules, const IndexList &Pos,
+                 const IndexList &Neg) const {
+    auto CoveredByAny = [&](int I) {
+      for (const Rule &R : Rules)
+        if (R.matches(D[static_cast<size_t>(I)].X))
+          return true;
+      return false;
+    };
+    size_t Covered = 0, FP = 0, FN = 0;
+    for (int I : Pos) {
+      if (CoveredByAny(I))
+        ++Covered;
+      else
+        ++FN;
+    }
+    for (int I : Neg) {
+      if (CoveredByAny(I)) {
+        ++Covered;
+        ++FP;
+      }
+    }
+    size_t Total = Pos.size() + Neg.size();
+    double DL = subsetDL(Covered, FP) + subsetDL(Total - Covered, FN);
+    for (const Rule &R : Rules)
+      DL += ruleDL(R);
+    return DL;
+  }
+
+  /// Stratified grow/prune split of (Pos, Neg).
+  void splitGrowPrune(const IndexList &Pos, const IndexList &Neg, Rng &R,
+                      IndexList &GrowPos, IndexList &GrowNeg,
+                      IndexList &PrunePos, IndexList &PruneNeg) const {
+    IndexList P = Pos, N = Neg;
+    shuffle(P, R);
+    shuffle(N, R);
+    size_t PG = static_cast<size_t>(
+        std::ceil(Opts.GrowFraction * static_cast<double>(P.size())));
+    size_t NG = static_cast<size_t>(
+        std::ceil(Opts.GrowFraction * static_cast<double>(N.size())));
+    GrowPos.assign(P.begin(), P.begin() + static_cast<long>(PG));
+    PrunePos.assign(P.begin() + static_cast<long>(PG), P.end());
+    GrowNeg.assign(N.begin(), N.begin() + static_cast<long>(NG));
+    PruneNeg.assign(N.begin() + static_cast<long>(NG), N.end());
+  }
+
+  /// Finds the single condition with the highest FOIL information gain
+  /// over the currently covered grow instances.  Returns false when no
+  /// condition has positive gain (or none excludes anything).
+  bool findBestCondition(const IndexList &CovPos, const IndexList &CovNeg,
+                         Condition &Best) const {
+    size_t P0 = CovPos.size(), N0 = CovNeg.size();
+    if (P0 == 0)
+      return false;
+    double BaseInfo = std::log2(static_cast<double>(P0) /
+                                static_cast<double>(P0 + N0));
+    double BestGain = 1e-9;
+    bool Found = false;
+
+    // (value, isPositive) pairs, sorted per feature.
+    std::vector<std::pair<double, bool>> Vals;
+    Vals.reserve(P0 + N0);
+    for (unsigned F = 0; F != NumFeatures; ++F) {
+      Vals.clear();
+      for (int I : CovPos)
+        Vals.push_back({D[static_cast<size_t>(I)].X[F], true});
+      for (int I : CovNeg)
+        Vals.push_back({D[static_cast<size_t>(I)].X[F], false});
+      std::sort(Vals.begin(), Vals.end(),
+                [](const auto &A, const auto &B) { return A.first < B.first; });
+
+      // Sweep distinct values; PrefP/PrefN count instances with value <= v.
+      size_t PrefP = 0, PrefN = 0;
+      for (size_t I = 0; I != Vals.size();) {
+        double V = Vals[I].first;
+        while (I != Vals.size() && Vals[I].first == V) {
+          if (Vals[I].second)
+            ++PrefP;
+          else
+            ++PrefN;
+          ++I;
+        }
+        auto Consider = [&](bool IsLE, size_t P, size_t N) {
+          if (P == 0)
+            return;
+          if (P + N == P0 + N0)
+            return; // excludes nothing; useless condition
+          double Gain =
+              static_cast<double>(P) *
+              (std::log2(static_cast<double>(P) / static_cast<double>(P + N)) -
+               BaseInfo);
+          if (Gain > BestGain) {
+            BestGain = Gain;
+            Best = {F, IsLE, V};
+            Found = true;
+          }
+        };
+        // X[F] <= V keeps the prefix.
+        Consider(true, PrefP, PrefN);
+        // X[F] >= V keeps this value group and the suffix.  The group was
+        // already added to the prefix, so subtract everything before it.
+        size_t GroupStart = I; // one past the group; recompute below
+        (void)GroupStart;
+        size_t SuffP = P0 - PrefP, SuffN = N0 - PrefN;
+        // Count the group itself (values == V).
+        size_t GP = 0, GN = 0;
+        for (size_t J = I; J-- > 0 && Vals[J].first == V;) {
+          if (Vals[J].second)
+            ++GP;
+          else
+            ++GN;
+        }
+        Consider(false, SuffP + GP, SuffN + GN);
+      }
+    }
+    return Found;
+  }
+
+  /// Grows \p R (possibly already containing conditions, for revisions) by
+  /// adding best-gain conditions until no negatives remain covered.
+  void growRule(Rule &R, const IndexList &GrowPos,
+                const IndexList &GrowNeg) const {
+    IndexList CovPos, CovNeg;
+    for (int I : GrowPos)
+      if (R.matches(D[static_cast<size_t>(I)].X))
+        CovPos.push_back(I);
+    for (int I : GrowNeg)
+      if (R.matches(D[static_cast<size_t>(I)].X))
+        CovNeg.push_back(I);
+
+    while (!CovNeg.empty() && R.size() < Opts.MaxConditionsPerRule) {
+      Condition C;
+      if (!findBestCondition(CovPos, CovNeg, C))
+        break;
+      R.Conditions.push_back(C);
+      auto Keep = [&](IndexList &L) {
+        IndexList Out;
+        Out.reserve(L.size());
+        for (int I : L)
+          if (C.matches(D[static_cast<size_t>(I)].X))
+            Out.push_back(I);
+        L = std::move(Out);
+      };
+      Keep(CovPos);
+      Keep(CovNeg);
+    }
+  }
+
+  /// Prunes \p R against the prune split: keeps the prefix of conditions
+  /// maximizing (p - n) / (p + n).  May prune to the empty rule, which the
+  /// caller must treat as "stop".
+  void pruneRule(Rule &R, const IndexList &PrunePos,
+                 const IndexList &PruneNeg) const {
+    if (R.Conditions.empty())
+      return;
+    double BestWorth = -2.0;
+    size_t BestLen = R.size();
+    Rule Prefix;
+    Prefix.Conclusion = R.Conclusion;
+    // Evaluate every prefix length, shortest to longest; strictly-better
+    // keeps the shorter (simpler) rule on ties.
+    for (size_t Len = 0; Len <= R.size(); ++Len) {
+      if (Len > 0)
+        Prefix.Conditions.push_back(R.Conditions[Len - 1]);
+      size_t P, N;
+      countCoverage(D, Prefix, PrunePos, PruneNeg, P, N);
+      double Worth = (P + N) == 0
+                         ? 0.0
+                         : (static_cast<double>(P) - static_cast<double>(N)) /
+                               static_cast<double>(P + N);
+      if (Worth > BestWorth + 1e-12) {
+        BestWorth = Worth;
+        BestLen = Len;
+      }
+    }
+    R.Conditions.resize(BestLen);
+  }
+
+  /// IREP* main loop: returns an ordered list of rules for the target
+  /// class covering \p Pos against \p Neg.
+  std::vector<Rule> buildRuleList(IndexList Pos, IndexList Neg,
+                                  Rng &R) const {
+    std::vector<Rule> Rules;
+    if (Pos.empty())
+      return Rules;
+    double BestDL = totalDL(Rules, Pos, Neg);
+    IndexList AllPos = Pos, AllNeg = Neg;
+
+    while (!Pos.empty() && Rules.size() < Opts.MaxRules) {
+      IndexList GP, GN, PP, PN;
+      splitGrowPrune(Pos, Neg, R, GP, GN, PP, PN);
+
+      Rule NewRule;
+      NewRule.Conclusion = Target;
+      growRule(NewRule, GP, GN);
+      pruneRule(NewRule, PP, PN);
+      if (NewRule.Conditions.empty())
+        break;
+
+      // Reject rules that are wrong more often than right on prune data.
+      size_t P, N;
+      countCoverage(D, NewRule, PP, PN, P, N);
+      if (P + N > 0 && N > P)
+        break;
+
+      // The rule must make progress on the remaining positives.
+      size_t CovP, CovN;
+      countCoverage(D, NewRule, Pos, Neg, CovP, CovN);
+      if (CovP == 0)
+        break;
+
+      Rules.push_back(NewRule);
+      double DL = totalDL(Rules, AllPos, AllNeg);
+      if (DL < BestDL)
+        BestDL = DL;
+      if (DL > BestDL + Opts.MdlSlackBits) {
+        Rules.pop_back();
+        break;
+      }
+
+      auto RemoveCovered = [&](IndexList &L) {
+        IndexList Out;
+        Out.reserve(L.size());
+        for (int I : L)
+          if (!NewRule.matches(D[static_cast<size_t>(I)].X))
+            Out.push_back(I);
+        L = std::move(Out);
+      };
+      RemoveCovered(Pos);
+      RemoveCovered(Neg);
+    }
+    return Rules;
+  }
+
+  /// One optimization pass over \p Rules (replacement / revision / keep by
+  /// minimum description length), followed by mop-up and rule deletion.
+  void optimizePass(std::vector<Rule> &Rules, const IndexList &AllPos,
+                    const IndexList &AllNeg, Rng &R) const {
+    for (size_t RI = 0; RI != Rules.size(); ++RI) {
+      // Instances that reach rule RI (not claimed by an earlier rule).
+      IndexList ReachPos, ReachNeg;
+      auto Reaches = [&](int I) {
+        for (size_t J = 0; J != RI; ++J)
+          if (Rules[J].matches(D[static_cast<size_t>(I)].X))
+            return false;
+        return true;
+      };
+      for (int I : AllPos)
+        if (Reaches(I))
+          ReachPos.push_back(I);
+      for (int I : AllNeg)
+        if (Reaches(I))
+          ReachNeg.push_back(I);
+      if (ReachPos.empty())
+        continue;
+
+      IndexList GP, GN, PP, PN;
+      splitGrowPrune(ReachPos, ReachNeg, R, GP, GN, PP, PN);
+
+      // Replacement: grown from scratch.
+      Rule Replacement;
+      Replacement.Conclusion = Target;
+      growRule(Replacement, GP, GN);
+      pruneRule(Replacement, PP, PN);
+
+      // Revision: grown from the current rule.
+      Rule Revision = Rules[RI];
+      Revision.NumCorrect = Revision.NumIncorrect = 0;
+      growRule(Revision, GP, GN);
+      pruneRule(Revision, PP, PN);
+
+      // Keep whichever of {original, replacement, revision} minimizes the
+      // description length of the whole rule set.
+      double DLOrig = totalDL(Rules, AllPos, AllNeg);
+      std::vector<Rule> Variant = Rules;
+      double DLRepl = 1e300, DLRev = 1e300;
+      if (!Replacement.Conditions.empty()) {
+        Variant[RI] = Replacement;
+        DLRepl = totalDL(Variant, AllPos, AllNeg);
+      }
+      if (!Revision.Conditions.empty()) {
+        Variant[RI] = Revision;
+        DLRev = totalDL(Variant, AllPos, AllNeg);
+      }
+      if (DLRepl < DLOrig && DLRepl <= DLRev)
+        Rules[RI] = Replacement;
+      else if (DLRev < DLOrig)
+        Rules[RI] = Revision;
+    }
+
+    // Mop-up: cover positives the optimized rules no longer cover.
+    IndexList UncovPos, UncovNeg;
+    auto CoveredByAny = [&](int I) {
+      for (const Rule &Rl : Rules)
+        if (Rl.matches(D[static_cast<size_t>(I)].X))
+          return true;
+      return false;
+    };
+    for (int I : AllPos)
+      if (!CoveredByAny(I))
+        UncovPos.push_back(I);
+    for (int I : AllNeg)
+      if (!CoveredByAny(I))
+        UncovNeg.push_back(I);
+    std::vector<Rule> Extra = buildRuleList(UncovPos, UncovNeg, R);
+    for (Rule &E : Extra)
+      if (Rules.size() < Opts.MaxRules)
+        Rules.push_back(std::move(E));
+
+    // Deletion: drop rules whose removal shrinks the description length.
+    bool Changed = true;
+    while (Changed && !Rules.empty()) {
+      Changed = false;
+      double CurDL = totalDL(Rules, AllPos, AllNeg);
+      double BestDL = CurDL;
+      size_t BestIdx = Rules.size();
+      for (size_t RI = 0; RI != Rules.size(); ++RI) {
+        std::vector<Rule> Without = Rules;
+        Without.erase(Without.begin() + static_cast<long>(RI));
+        double DL = totalDL(Without, AllPos, AllNeg);
+        if (DL < BestDL) {
+          BestDL = DL;
+          BestIdx = RI;
+        }
+      }
+      if (BestIdx != Rules.size()) {
+        Rules.erase(Rules.begin() + static_cast<long>(BestIdx));
+        Changed = true;
+      }
+    }
+  }
+};
+
+} // namespace
+
+Ripper::Ripper(RipperOptions O) : Opts(O) {}
+
+RuleSet Ripper::train(const Dataset &Data) const {
+  size_t NumLS = Data.countLabel(Label::LS);
+  size_t NumNS = Data.size() - NumLS;
+
+  // Degenerate cases: empty or single-class data.
+  if (Data.empty())
+    return RuleSet(Label::NS);
+  if (NumLS == 0)
+    return RuleSet(Label::NS);
+  if (NumNS == 0)
+    return RuleSet(Label::LS);
+
+  // RIPPER orders classes by frequency: induce rules for the minority
+  // class; the majority is the default.  Ties break toward LS rules with
+  // NS default, matching the paper's filters.
+  Label Target = NumLS <= NumNS ? Label::LS : Label::NS;
+  Label Default = Target == Label::LS ? Label::NS : Label::LS;
+
+  Trainer T(Data, Opts, Target);
+  IndexList Pos, Neg;
+  for (int I = 0, E = static_cast<int>(Data.size()); I != E; ++I)
+    (T.isPos(I) ? Pos : Neg).push_back(I);
+
+  Rng R(Opts.Seed);
+  std::vector<Rule> Rules = T.buildRuleList(Pos, Neg, R);
+  for (unsigned Pass = 0; Pass != Opts.OptimizePasses; ++Pass)
+    T.optimizePass(Rules, Pos, Neg, R);
+
+  RuleSet RS(Default);
+  for (Rule &Rl : Rules) {
+    Rl.Conclusion = Target;
+    RS.addRule(std::move(Rl));
+  }
+  size_t DC, DI;
+  RS.annotateCoverage(Data, DC, DI);
+  return RS;
+}

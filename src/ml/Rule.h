@@ -1,0 +1,114 @@
+//===- ml/Rule.h - If-then rules over block features -------------*- C++ -*-===//
+///
+/// \file
+/// The hypothesis language of the induced filters: ordered lists of
+/// if-then rules whose antecedents are conjunctions of single-feature
+/// threshold tests (feature <= v or feature >= v), exactly the form RIPPER
+/// induces over numeric attributes and the form shown in the paper's
+/// Figure 4.  A RuleSet predicts the class of the first rule whose
+/// antecedent matches, falling back to a default class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_ML_RULE_H
+#define SCHEDFILTER_ML_RULE_H
+
+#include "ml/Dataset.h"
+
+#include <string>
+#include <vector>
+
+namespace schedfilter {
+
+/// One antecedent test: X[Feature] <= Threshold or X[Feature] >= Threshold.
+struct Condition {
+  unsigned Feature = 0;
+  bool IsLessEqual = true;
+  double Threshold = 0.0;
+
+  bool matches(const FeatureVector &X) const {
+    return IsLessEqual ? X[Feature] <= Threshold : X[Feature] >= Threshold;
+  }
+
+  std::string toString() const;
+};
+
+/// A conjunction of conditions concluding a class.  Also carries training
+/// coverage counts (correct/incorrect) for Figure 4-style printing.
+struct Rule {
+  std::vector<Condition> Conditions;
+  Label Conclusion = Label::LS;
+  /// Training instances matched by this rule (claimed first by it) whose
+  /// label equals / differs from the conclusion; filled by the learner.
+  size_t NumCorrect = 0;
+  size_t NumIncorrect = 0;
+
+  bool matches(const FeatureVector &X) const {
+    for (const Condition &C : Conditions)
+      if (!C.matches(X))
+        return false;
+    return true;
+  }
+
+  size_t size() const { return Conditions.size(); }
+
+  /// Renders e.g. "( 924/ 12) list :- bbLen >= 7, calls <= 0.0857".
+  std::string toString() const;
+};
+
+/// An ordered rule list with a default class.
+class RuleSet {
+public:
+  explicit RuleSet(Label DefaultClass = Label::NS)
+      : DefaultClass(DefaultClass) {}
+
+  void addRule(Rule R) { Rules.push_back(std::move(R)); }
+
+  Label getDefaultClass() const { return DefaultClass; }
+  void setDefaultClass(Label L) { DefaultClass = L; }
+
+  const std::vector<Rule> &rules() const { return Rules; }
+  std::vector<Rule> &rules() { return Rules; }
+  size_t size() const { return Rules.size(); }
+
+  /// Classifies \p X: the conclusion of the first matching rule, or the
+  /// default class.
+  Label predict(const FeatureVector &X) const {
+    for (const Rule &R : Rules)
+      if (R.matches(X))
+        return R.Conclusion;
+    return DefaultClass;
+  }
+
+  /// Deterministic work-unit cost of one prediction: conditions actually
+  /// evaluated (comparable to scheduler work units).
+  uint64_t predictionWork(const FeatureVector &X) const;
+
+  /// Sound O(1) rejection gate: the smallest block length any rule can
+  /// match.  Every rule's conditions imply a lower bound on bbLen (0 when
+  /// a rule has no "bbLen >= v" condition); the gate is the minimum over
+  /// rules.  A block shorter than the gate is guaranteed to classify as
+  /// the default class without evaluating any rule -- the production
+  /// fast path for the sea of trivial blocks.
+  double minMatchableBBLen() const;
+
+  /// Total number of conditions across all rules.
+  size_t totalConditions() const;
+
+  /// Recomputes each rule's NumCorrect/NumIncorrect over \p Data with
+  /// first-match-claims semantics, and counts the default rule's coverage
+  /// into \p DefaultCorrect / \p DefaultIncorrect.
+  void annotateCoverage(const Dataset &Data, size_t &DefaultCorrect,
+                        size_t &DefaultIncorrect);
+
+  /// Multi-line Figure 4-style rendering, including the default rule line.
+  std::string toString() const;
+
+private:
+  Label DefaultClass;
+  std::vector<Rule> Rules;
+};
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_ML_RULE_H

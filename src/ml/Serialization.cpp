@@ -1,0 +1,126 @@
+//===- ml/Serialization.cpp - Persisting induced filters --------------------===//
+
+#include "ml/Serialization.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+using namespace schedfilter;
+
+unsigned schedfilter::findFeatureByName(const std::string &Name) {
+  for (unsigned F = 0; F != NumFeatures; ++F)
+    if (Name == getFeatureName(F))
+      return F;
+  return NumFeatures;
+}
+
+void schedfilter::writeRuleSet(const RuleSet &RS, std::ostream &OS) {
+  OS << "schedfilter-rules v1\n";
+  OS << "default " << getLabelName(RS.getDefaultClass()) << '\n';
+  for (const Rule &R : RS.rules()) {
+    OS << "rule " << getLabelName(R.Conclusion) << " :- ";
+    for (size_t I = 0; I != R.Conditions.size(); ++I) {
+      const Condition &C = R.Conditions[I];
+      if (I)
+        OS << ", ";
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", C.Threshold);
+      OS << getFeatureName(C.Feature) << (C.IsLessEqual ? " <= " : " >= ")
+         << Buf;
+    }
+    if (R.Conditions.empty())
+      OS << "true";
+    OS << '\n';
+  }
+}
+
+namespace {
+
+/// Strips leading/trailing spaces.
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t\r");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t\r");
+  return S.substr(B, E - B + 1);
+}
+
+std::optional<Label> parseLabel(const std::string &S) {
+  if (S == "LS")
+    return Label::LS;
+  if (S == "NS")
+    return Label::NS;
+  return std::nullopt;
+}
+
+std::optional<Condition> parseCondition(const std::string &Text) {
+  size_t OpPos = Text.find("<=");
+  bool IsLE = true;
+  if (OpPos == std::string::npos) {
+    OpPos = Text.find(">=");
+    IsLE = false;
+  }
+  if (OpPos == std::string::npos)
+    return std::nullopt;
+  std::string FeatName = trim(Text.substr(0, OpPos));
+  std::string ValText = trim(Text.substr(OpPos + 2));
+  unsigned Feature = findFeatureByName(FeatName);
+  if (Feature == NumFeatures || ValText.empty())
+    return std::nullopt;
+  char *End = nullptr;
+  double Threshold = std::strtod(ValText.c_str(), &End);
+  if (End != ValText.c_str() + ValText.size())
+    return std::nullopt;
+  return Condition{Feature, IsLE, Threshold};
+}
+
+} // namespace
+
+std::optional<RuleSet> schedfilter::readRuleSet(std::istream &IS) {
+  std::string Line;
+  if (!std::getline(IS, Line) || trim(Line) != "schedfilter-rules v1")
+    return std::nullopt;
+  if (!std::getline(IS, Line))
+    return std::nullopt;
+  std::string DefaultLine = trim(Line);
+  if (DefaultLine.rfind("default ", 0) != 0)
+    return std::nullopt;
+  std::optional<Label> Default = parseLabel(trim(DefaultLine.substr(8)));
+  if (!Default)
+    return std::nullopt;
+
+  RuleSet RS(*Default);
+  while (std::getline(IS, Line)) {
+    std::string T = trim(Line);
+    if (T.empty() || T[0] == '#')
+      continue;
+    if (T.rfind("rule ", 0) != 0)
+      return std::nullopt;
+    size_t Sep = T.find(" :- ");
+    if (Sep == std::string::npos)
+      return std::nullopt;
+    std::optional<Label> Concl = parseLabel(trim(T.substr(5, Sep - 5)));
+    if (!Concl)
+      return std::nullopt;
+    Rule R;
+    R.Conclusion = *Concl;
+    std::string Body = trim(T.substr(Sep + 4));
+    if (Body != "true") {
+      std::stringstream SS(Body);
+      std::string Part;
+      while (std::getline(SS, Part, ',')) {
+        std::optional<Condition> C = parseCondition(trim(Part));
+        if (!C)
+          return std::nullopt;
+        R.Conditions.push_back(*C);
+      }
+      if (R.Conditions.empty())
+        return std::nullopt;
+    }
+    RS.addRule(std::move(R));
+  }
+  return RS;
+}

@@ -1,0 +1,43 @@
+//===- ml/Serialization.h - Persisting induced filters -----------*- C++ -*-===//
+///
+/// \file
+/// Text serialization for induced rule sets.  The paper envisions the
+/// heuristic being developed and installed "at the factory" (§3): the
+/// compiler team trains offline, serializes the filter, and the JIT loads
+/// it at startup.  The format is line-oriented and human-editable:
+///
+///   schedfilter-rules v1
+///   default NS
+///   rule LS :- bbLen >= 7, calls <= 0.0857, loads >= 0.3793
+///   rule LS :- bbLen >= 5, stores <= 0.1613
+///
+/// Parsing is strict: unknown feature names, operators, or malformed
+/// lines fail (returning std::nullopt) rather than guessing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_ML_SERIALIZATION_H
+#define SCHEDFILTER_ML_SERIALIZATION_H
+
+#include "ml/Rule.h"
+
+#include <iosfwd>
+#include <optional>
+
+namespace schedfilter {
+
+/// Writes \p RS in the v1 text format.
+void writeRuleSet(const RuleSet &RS, std::ostream &OS);
+
+/// Parses the v1 text format; std::nullopt on any syntax error.  Coverage
+/// counts are not part of the format (they are training artifacts) and
+/// come back zeroed.
+std::optional<RuleSet> readRuleSet(std::istream &IS);
+
+/// Looks up a feature index by its Table 1 name ("bbLen", "loads", ...);
+/// returns NumFeatures when unknown.
+unsigned findFeatureByName(const std::string &Name);
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_ML_SERIALIZATION_H

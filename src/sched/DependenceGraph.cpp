@@ -1,0 +1,179 @@
+//===- sched/DependenceGraph.cpp - Block dependence DAG --------------------===//
+
+#include "sched/DependenceGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace schedfilter;
+
+void DependenceGraph::addEdge(int From, int To, unsigned Latency,
+                              DepKind Kind) {
+  assert(From < To && "dependence edges must point forward in program order");
+  auto &List = Succs[static_cast<size_t>(From)];
+  // Deduplicate, keeping the strongest (largest latency) constraint.  Out
+  // degrees are small, so a linear scan beats a hash set here.
+  for (DepEdge &E : List) {
+    if (E.To != To)
+      continue;
+    if (Latency > E.Latency) {
+      E.Latency = Latency;
+      E.Kind = Kind;
+    }
+    return;
+  }
+  List.push_back({To, Latency, Kind});
+  ++InDegree[static_cast<size_t>(To)];
+  ++EdgeCount;
+  // An edge insert costs several elementary operations: the dedupe scan,
+  // the push, and the bookkeeping that led here (hash lookups in the
+  // builder).  Weight it so work units track wall time.
+  Work += 4;
+}
+
+/// True if \p Inst may be speculated upward across a superblock side
+/// exit: pure register computation or a non-excepting load.
+static bool isSpeculationSafe(const Instruction &Inst) {
+  if (Inst.writesMemory() || Inst.isTerminator() || Inst.isHazard() ||
+      Inst.isCall())
+    return false;
+  if (Inst.getInfo().Unit == FuClass::System)
+    return false;
+  return true;
+}
+
+DependenceGraph::DependenceGraph(const BasicBlock &BB,
+                                 const MachineModel &Model,
+                                 bool SuperblockMode) {
+  size_t N = BB.size();
+  Succs.resize(N);
+  InDegree.assign(N, 0);
+  Height.assign(N, 0);
+
+  // Per-register bookkeeping: the last writer, and every reader since then.
+  std::unordered_map<Reg, int> LastDef;
+  std::unordered_map<Reg, std::vector<int>> ReadersSinceDef;
+  // Memory ordering state.
+  int LastStore = -1;
+  std::vector<int> LoadsSinceStore;
+  // Hazard ordering state.
+  int LastPEI = -1;
+  int LastBarrier = -1;
+  std::vector<int> SinceBarrier; // instructions after the last barrier
+  // Superblock state: the most recent interior terminator (side exit).
+  int LastSideExit = -1;
+
+  for (int I = 0, E = static_cast<int>(N); I != E; ++I) {
+    const Instruction &Inst = BB[static_cast<size_t>(I)];
+    unsigned Lat = Model.getLatency(Inst.getOpcode());
+    Work += 3; // per-instruction def/use bookkeeping (hash updates)
+
+    // Register dependences.
+    for (Reg U : Inst.uses()) {
+      auto It = LastDef.find(U);
+      if (It != LastDef.end())
+        addEdge(It->second, I,
+                Model.getLatency(BB[static_cast<size_t>(It->second)]
+                                     .getOpcode()),
+                DepKind::Data);
+      ReadersSinceDef[U].push_back(I);
+    }
+    for (Reg D : Inst.defs()) {
+      auto It = LastDef.find(D);
+      if (It != LastDef.end())
+        addEdge(It->second, I, 1, DepKind::Output);
+      auto RIt = ReadersSinceDef.find(D);
+      if (RIt != ReadersSinceDef.end()) {
+        for (int Reader : RIt->second)
+          if (Reader != I)
+            addEdge(Reader, I, 0, DepKind::Anti);
+        RIt->second.clear();
+      }
+      LastDef[D] = I;
+    }
+
+    // Memory ordering: conservative aliasing.  Loads may reorder freely
+    // among themselves; stores order against everything memory-related.
+    if (Inst.readsMemory() && LastStore >= 0)
+      addEdge(LastStore, I, 1, DepKind::Memory);
+    if (Inst.writesMemory()) {
+      if (LastStore >= 0)
+        addEdge(LastStore, I, 1, DepKind::Memory);
+      for (int L : LoadsSinceStore)
+        if (L != I)
+          addEdge(L, I, 0, DepKind::Memory);
+      LoadsSinceStore.clear();
+      LastStore = I;
+    } else if (Inst.readsMemory()) {
+      LoadsSinceStore.push_back(I);
+    }
+
+    // Hazards.  PEIs must stay ordered among themselves (exceptions are
+    // precise and ordered) and with respect to stores in both directions
+    // (memory must reflect exactly the pre-exception program prefix).
+    bool IsPEI = Inst.isInCategory(CatPEI);
+    if (IsPEI) {
+      if (LastPEI >= 0)
+        addEdge(LastPEI, I, 0, DepKind::Hazard);
+      if (LastStore >= 0 && LastStore != I)
+        addEdge(LastStore, I, 0, DepKind::Hazard);
+      LastPEI = I;
+    }
+    if (Inst.writesMemory() && LastPEI >= 0 && LastPEI != I)
+      addEdge(LastPEI, I, 0, DepKind::Hazard);
+
+    // Full barriers: calls, GC safepoints, thread switches, yield points.
+    // Nothing moves across them in either direction.
+    if (LastBarrier >= 0)
+      addEdge(LastBarrier, I, 0, DepKind::Hazard);
+    if (Inst.isBarrier()) {
+      for (int P : SinceBarrier)
+        addEdge(P, I, 0, DepKind::Hazard);
+      SinceBarrier.clear();
+      LastBarrier = I;
+    } else {
+      SinceBarrier.push_back(I);
+    }
+
+    // Side exits: in superblock mode, unsafe instructions may not move up
+    // across the previous interior terminator.
+    if (SuperblockMode && LastSideExit >= 0 && LastSideExit != I &&
+        !isSpeculationSafe(Inst))
+      addEdge(LastSideExit, I, 0, DepKind::Control);
+
+    // Terminator: every earlier instruction must stay before it (no
+    // downward motion across a branch, interior or final).
+    if (Inst.isTerminator()) {
+      for (int P = 0; P != I; ++P)
+        addEdge(P, I, 0, DepKind::Control);
+      if (SuperblockMode && I + 1 != static_cast<int>(N))
+        LastSideExit = I;
+    }
+    (void)Lat;
+  }
+
+  computeHeights(BB, Model);
+}
+
+void DependenceGraph::computeHeights(const BasicBlock &BB,
+                                     const MachineModel &Model) {
+  // Nodes are numbered in program order and edges point forward, so a
+  // reverse scan is a valid reverse-topological traversal.
+  for (int I = static_cast<int>(numNodes()) - 1; I >= 0; --I) {
+    long H = Model.getLatency(BB[static_cast<size_t>(I)].getOpcode());
+    for (const DepEdge &E : Succs[static_cast<size_t>(I)]) {
+      long Via = static_cast<long>(E.Latency) + Height[static_cast<size_t>(E.To)];
+      H = std::max(H, Via);
+      ++Work;
+    }
+    Height[static_cast<size_t>(I)] = H;
+  }
+}
+
+bool DependenceGraph::hasEdge(int From, int To) const {
+  for (const DepEdge &E : Succs[static_cast<size_t>(From)])
+    if (E.To == To)
+      return true;
+  return false;
+}

@@ -1,0 +1,212 @@
+//===- sched/LearnedPriority.cpp - Learning *how* to schedule ---------------===//
+
+#include "sched/LearnedPriority.h"
+
+#include "sched/OptimalScheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+using namespace schedfilter;
+
+const char *schedfilter::getDecisionFeatureName(unsigned F) {
+  static const char *Names[DecisionFeatures::NumFeatures] = {
+      "criticalPath", "latency", "fanout",  "slack",
+      "isLoad",       "isFloat", "isStore",
+  };
+  assert(F < DecisionFeatures::NumFeatures && "bad decision feature index");
+  return Names[F];
+}
+
+DecisionFeatures schedfilter::decisionFeatures(const BasicBlock &BB,
+                                               const DependenceGraph &Dag,
+                                               const MachineModel &Model,
+                                               int Candidate,
+                                               long EarliestStart,
+                                               long Clock) {
+  const Instruction &I = BB[static_cast<size_t>(Candidate)];
+  DecisionFeatures F;
+  double N = static_cast<double>(BB.size());
+  F.Phi[0] = static_cast<double>(Dag.criticalPath(Candidate)) / (N + 1.0);
+  F.Phi[1] = static_cast<double>(Model.getLatency(I.getOpcode())) / 8.0;
+  F.Phi[2] = static_cast<double>(Dag.succs(Candidate).size()) / (N + 1.0);
+  F.Phi[3] = static_cast<double>(std::max<long>(0, EarliestStart - Clock));
+  F.Phi[4] = I.isInCategory(CatLoad) ? 1.0 : 0.0;
+  F.Phi[5] = I.isInCategory(CatFloatFU) ? 1.0 : 0.0;
+  F.Phi[6] = I.isInCategory(CatStore) ? 1.0 : 0.0;
+  return F;
+}
+
+namespace {
+
+/// One harvested training pair: at some decision point, Chosen was the
+/// optimal pick and Other was a startable alternative.
+struct PreferencePair {
+  DecisionFeatures Chosen;
+  DecisionFeatures Other;
+};
+
+/// Replays an order through the scheduler's bookkeeping, invoking
+/// \p OnDecision(candidates, chosen, earliest-starts, clock) at every
+/// decision point where more than one instruction could start now.
+template <typename Callback>
+void replaySchedule(const BasicBlock &BB, const DependenceGraph &Dag,
+                    const std::vector<int> &Order, Callback OnDecision) {
+  size_t N = BB.size();
+  std::vector<long> EarliestStart(N, 0);
+  std::vector<int> Pending = Dag.inDegrees();
+  std::vector<bool> Ready(N, false);
+  for (size_t I = 0; I != N; ++I)
+    if (Pending[I] == 0)
+      Ready[I] = true;
+
+  long Clock = 0;
+  for (int Chosen : Order) {
+    // Candidates: ready instructions; the clock first advances to the
+    // chosen instruction's earliest start (mirroring the cycle-driven
+    // scheduler when it runs out of startable-now work).
+    Clock = std::max(Clock, EarliestStart[static_cast<size_t>(Chosen)]);
+    std::vector<int> Startable;
+    for (size_t I = 0; I != N; ++I)
+      if (Ready[I] && EarliestStart[I] <= Clock)
+        Startable.push_back(static_cast<int>(I));
+    if (Startable.size() > 1)
+      OnDecision(Startable, Chosen, EarliestStart, Clock);
+
+    Ready[static_cast<size_t>(Chosen)] = false;
+    for (const DepEdge &E : Dag.succs(Chosen)) {
+      size_t To = static_cast<size_t>(E.To);
+      EarliestStart[To] =
+          std::max(EarliestStart[To], Clock + static_cast<long>(E.Latency));
+      if (--Pending[To] == 0)
+        Ready[To] = true;
+    }
+  }
+}
+
+} // namespace
+
+PreferenceFunction
+PreferenceLearner::train(const std::vector<BasicBlock> &Blocks,
+                         const MachineModel &Model) const {
+  // Harvest pairs from optimal schedules.
+  std::vector<PreferencePair> Pairs;
+  for (const BasicBlock &BB : Blocks) {
+    if (BB.empty() || BB.size() > Opts.MaxBlockSize)
+      continue;
+    OptimalResult Opt = findOptimalSchedule(BB, Model);
+    DependenceGraph Dag(BB, Model);
+    replaySchedule(BB, Dag, Opt.Order,
+                   [&](const std::vector<int> &Startable, int Chosen,
+                       const std::vector<long> &Earliest, long Clock) {
+                     DecisionFeatures Good = decisionFeatures(
+                         BB, Dag, Model, Chosen,
+                         Earliest[static_cast<size_t>(Chosen)], Clock);
+                     for (int Other : Startable) {
+                       if (Other == Chosen)
+                         continue;
+                       Pairs.push_back(
+                           {Good, decisionFeatures(
+                                      BB, Dag, Model, Other,
+                                      Earliest[static_cast<size_t>(Other)],
+                                      Clock)});
+                     }
+                   });
+  }
+
+  // Averaged perceptron on feature differences: want
+  // w . (chosen - other) > 0 for every pair.
+  constexpr unsigned NF = DecisionFeatures::NumFeatures;
+  std::array<double, NF> W{}, Sum{};
+  uint64_t Updates = 1;
+  Rng R(Opts.Seed);
+  std::vector<size_t> Idx(Pairs.size());
+  for (size_t I = 0; I != Pairs.size(); ++I)
+    Idx[I] = I;
+
+  for (unsigned Epoch = 0; Epoch != Opts.Epochs; ++Epoch) {
+    for (size_t I = Idx.size(); I > 1; --I)
+      std::swap(Idx[I - 1], Idx[R.below(static_cast<uint32_t>(I))]);
+    for (size_t PI : Idx) {
+      const PreferencePair &P = Pairs[PI];
+      double Margin = 0.0;
+      for (unsigned F = 0; F != NF; ++F)
+        Margin += W[F] * (P.Chosen.Phi[F] - P.Other.Phi[F]);
+      if (Margin <= 0.0)
+        for (unsigned F = 0; F != NF; ++F)
+          W[F] += P.Chosen.Phi[F] - P.Other.Phi[F];
+      for (unsigned F = 0; F != NF; ++F)
+        Sum[F] += W[F];
+      ++Updates;
+    }
+  }
+  for (unsigned F = 0; F != NF; ++F)
+    Sum[F] /= static_cast<double>(Updates);
+  return PreferenceFunction(Sum);
+}
+
+ScheduleResult LearnedListScheduler::schedule(const BasicBlock &BB) const {
+  DependenceGraph Dag(BB, Model);
+  ScheduleResult R = schedule(BB, Dag);
+  R.WorkUnits += Dag.workUnits();
+  return R;
+}
+
+ScheduleResult
+LearnedListScheduler::schedule(const BasicBlock &BB,
+                               const DependenceGraph &Dag) const {
+  int N = static_cast<int>(BB.size());
+  ScheduleResult R;
+  R.Order.reserve(static_cast<size_t>(N));
+
+  std::vector<long> EarliestStart(static_cast<size_t>(N), 0);
+  std::vector<int> Pending = Dag.inDegrees();
+  std::vector<int> Ready;
+  for (int I = 0; I != N; ++I)
+    if (Pending[static_cast<size_t>(I)] == 0)
+      Ready.push_back(I);
+
+  long Clock = 0;
+  while (!Ready.empty()) {
+    // Advance the clock to the minimum earliest start if nothing can
+    // start now.
+    long MinStart = EarliestStart[static_cast<size_t>(Ready.front())];
+    for (int I : Ready)
+      MinStart = std::min(MinStart, EarliestStart[static_cast<size_t>(I)]);
+    Clock = std::max(Clock, MinStart);
+
+    // Among startable-now candidates, pick the preference argmax.
+    int BestIdx = -1;
+    double BestScore = 0.0;
+    for (size_t Pos = 0; Pos != Ready.size(); ++Pos) {
+      int I = Ready[Pos];
+      if (EarliestStart[static_cast<size_t>(I)] > Clock)
+        continue;
+      double Score = Fn.score(decisionFeatures(
+          BB, Dag, Model, I, EarliestStart[static_cast<size_t>(I)], Clock));
+      ++R.WorkUnits;
+      if (BestIdx < 0 || Score > BestScore ||
+          (Score == BestScore && I < Ready[static_cast<size_t>(BestIdx)])) {
+        BestIdx = static_cast<int>(Pos);
+        BestScore = Score;
+      }
+    }
+    assert(BestIdx >= 0 && "clock advance guarantees a startable candidate");
+
+    int Picked = Ready[static_cast<size_t>(BestIdx)];
+    Ready.erase(Ready.begin() + BestIdx);
+    R.Order.push_back(Picked);
+    for (const DepEdge &E : Dag.succs(Picked)) {
+      size_t To = static_cast<size_t>(E.To);
+      EarliestStart[To] =
+          std::max(EarliestStart[To], Clock + static_cast<long>(E.Latency));
+      ++R.WorkUnits;
+      if (--Pending[To] == 0)
+        Ready.push_back(E.To);
+    }
+  }
+
+  assert(R.Order.size() == static_cast<size_t>(N) && "incomplete schedule");
+  return R;
+}

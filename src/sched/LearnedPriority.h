@@ -1,0 +1,112 @@
+//===- sched/LearnedPriority.h - Learning *how* to schedule -----*- C++ -*-===//
+///
+/// \file
+/// The companion problem to the paper's contribution.  §2: "our goal here
+/// is to learn to choose between scheduling and not scheduling, not to
+/// induce the heuristic used by the scheduler" — that earlier work (Moss
+/// et al., NIPS'97) learned a *preference function* that picks which
+/// ready instruction to schedule next, trained from optimal schedules of
+/// small blocks.  This module reproduces it:
+///
+///   - decisionFeatures(): a per-candidate feature vector at a scheduling
+///     decision point (critical path, latency, earliest start, fanout,
+///     and class indicators);
+///   - PreferenceFunction: a linear scorer over those features;
+///   - PreferenceLearner: averaged-perceptron training on preference
+///     pairs (optimal choice beats every alternative candidate);
+///   - LearnedListScheduler: the cycle-driven list scheduler driven by a
+///     PreferenceFunction instead of the CPS tie-break.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_SCHED_LEARNEDPRIORITY_H
+#define SCHEDFILTER_SCHED_LEARNEDPRIORITY_H
+
+#include "sched/ListScheduler.h"
+#include "support/Rng.h"
+
+#include <array>
+
+namespace schedfilter {
+
+/// Features describing one ready candidate instruction at a decision
+/// point.
+struct DecisionFeatures {
+  static constexpr unsigned NumFeatures = 7;
+  std::array<double, NumFeatures> Phi{};
+};
+
+/// Feature names, index-aligned with DecisionFeatures::Phi.
+const char *getDecisionFeatureName(unsigned F);
+
+/// Extracts candidate features: \p EarliestStart and \p Clock come from
+/// the scheduler's bookkeeping.
+DecisionFeatures decisionFeatures(const BasicBlock &BB,
+                                  const DependenceGraph &Dag,
+                                  const MachineModel &Model, int Candidate,
+                                  long EarliestStart, long Clock);
+
+/// A linear preference function over DecisionFeatures.
+class PreferenceFunction {
+public:
+  PreferenceFunction() { Weights.fill(0.0); }
+  explicit PreferenceFunction(std::array<double, DecisionFeatures::NumFeatures> W)
+      : Weights(W) {}
+
+  double score(const DecisionFeatures &F) const {
+    double S = 0.0;
+    for (unsigned I = 0; I != DecisionFeatures::NumFeatures; ++I)
+      S += Weights[I] * F.Phi[I];
+    return S;
+  }
+
+  const std::array<double, DecisionFeatures::NumFeatures> &weights() const {
+    return Weights;
+  }
+
+private:
+  std::array<double, DecisionFeatures::NumFeatures> Weights;
+};
+
+/// Averaged-perceptron trainer over preference pairs harvested from
+/// optimal schedules of small blocks.
+class PreferenceLearner {
+public:
+  struct Options {
+    unsigned Epochs = 8;
+    uint64_t Seed = 0x9e17;
+    /// Blocks larger than this are skipped (optimal search cost).
+    size_t MaxBlockSize = 11;
+  };
+
+  PreferenceLearner() : PreferenceLearner(Options()) {}
+  explicit PreferenceLearner(Options O) : Opts(O) {}
+
+  /// Harvests preference pairs from \p Blocks (decision points of their
+  /// optimal schedules) and trains the scorer.
+  PreferenceFunction train(const std::vector<BasicBlock> &Blocks,
+                           const MachineModel &Model) const;
+
+private:
+  Options Opts;
+};
+
+/// List scheduler whose pick among startable-now instructions is the
+/// PreferenceFunction argmax (ties to program order).
+class LearnedListScheduler {
+public:
+  LearnedListScheduler(const MachineModel &Model, PreferenceFunction Fn)
+      : Model(Model), Fn(std::move(Fn)) {}
+
+  ScheduleResult schedule(const BasicBlock &BB) const;
+  ScheduleResult schedule(const BasicBlock &BB,
+                          const DependenceGraph &Dag) const;
+
+private:
+  const MachineModel &Model;
+  PreferenceFunction Fn;
+};
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_SCHED_LEARNEDPRIORITY_H

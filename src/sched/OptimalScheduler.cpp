@@ -1,0 +1,126 @@
+//===- sched/OptimalScheduler.cpp - Exhaustive small-block scheduling --------===//
+
+#include "sched/OptimalScheduler.h"
+
+#include "sched/ListScheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace schedfilter;
+
+namespace {
+
+/// DFS state for the branch-and-bound enumeration of topological orders.
+struct Search {
+  const BasicBlock &BB;
+  const MachineModel &Model;
+  const DependenceGraph &Dag;
+  BlockSimulator Sim;
+  uint64_t MaxLeaves;
+
+  std::vector<int> Current;
+  std::vector<int> Pending; // remaining predecessor counts
+  std::vector<int> Best;
+  uint64_t BestCycles;
+  uint64_t Leaves = 0;
+  uint64_t Nodes = 0;
+  uint64_t MaxNodes;
+  bool Budgeted = false;
+
+  Search(const BasicBlock &BB, const MachineModel &Model,
+         const DependenceGraph &Dag, uint64_t MaxLeaves, uint64_t SeedCost,
+         std::vector<int> SeedOrder)
+      : BB(BB), Model(Model), Dag(Dag), Sim(Model), MaxLeaves(MaxLeaves),
+        Pending(Dag.inDegrees()), Best(std::move(SeedOrder)),
+        BestCycles(SeedCost),
+        MaxNodes(std::max<uint64_t>(10000, MaxLeaves * 16)) {}
+
+  /// Simulated cost of the current partial order, used as an admissible
+  /// pruning bound (costs only grow as instructions are appended, by the
+  /// simulator's monotonicity).
+  uint64_t prefixCost() const {
+    BasicBlock Prefix("prefix");
+    for (int I : Current)
+      Prefix.append(BB[static_cast<size_t>(I)]);
+    return Sim.simulate(Prefix);
+  }
+
+  void dfs() {
+    if (Budgeted)
+      return;
+    // Bound internal work too: heavy pruning can keep the search leafless
+    // while it still walks an exponential frontier.
+    if (++Nodes > MaxNodes) {
+      Budgeted = true;
+      return;
+    }
+    if (Current.size() == BB.size()) {
+      ++Leaves;
+      uint64_t Cost = Sim.simulate(BB, Current);
+      if (Cost < BestCycles) {
+        BestCycles = Cost;
+        Best = Current;
+      }
+      if (Leaves >= MaxLeaves)
+        Budgeted = true;
+      return;
+    }
+
+    // Prune: a partial order already as expensive as the best complete
+    // one cannot improve (appending never reduces simulated cost).
+    if (!Current.empty() && prefixCost() >= BestCycles)
+      return;
+
+    for (int I = 0, E = static_cast<int>(BB.size()); I != E; ++I) {
+      if (Pending[static_cast<size_t>(I)] != 0)
+        continue;
+      bool Scheduled = false;
+      for (int C : Current)
+        if (C == I) {
+          Scheduled = true;
+          break;
+        }
+      if (Scheduled)
+        continue;
+
+      Current.push_back(I);
+      for (const DepEdge &Edge : Dag.succs(I))
+        --Pending[static_cast<size_t>(Edge.To)];
+      dfs();
+      for (const DepEdge &Edge : Dag.succs(I))
+        ++Pending[static_cast<size_t>(Edge.To)];
+      Current.pop_back();
+      if (Budgeted)
+        return;
+    }
+  }
+};
+
+} // namespace
+
+OptimalResult schedfilter::findOptimalSchedule(const BasicBlock &BB,
+                                               const MachineModel &Model,
+                                               uint64_t MaxLeaves) {
+  OptimalResult R;
+  if (BB.empty())
+    return R;
+
+  DependenceGraph Dag(BB, Model);
+  // Seed the bound with the CPS heuristic's schedule: pruning then cuts
+  // everything the heuristic already beats.
+  ListScheduler Heuristic(Model);
+  ScheduleResult Seed = Heuristic.schedule(BB, Dag);
+  BlockSimulator Sim(Model);
+  uint64_t SeedCost = Sim.simulate(BB, Seed.Order);
+
+  Search S(BB, Model, Dag, MaxLeaves, SeedCost, Seed.Order);
+  S.dfs();
+
+  R.Order = S.Best;
+  R.Cycles = S.BestCycles;
+  R.Exact = !S.Budgeted;
+  R.LeavesExplored = S.Leaves;
+  assert(R.Order.size() == BB.size() && "search lost the seed order");
+  return R;
+}

@@ -1,0 +1,49 @@
+//===- sched/OptimalScheduler.h - Exhaustive small-block scheduling -*- C++ -*-===//
+///
+/// \file
+/// Branch-and-bound search for a *simulator-optimal* instruction order of
+/// a (small) basic block: the minimum-cycle topological order of the
+/// dependence DAG under the block timing simulator.
+///
+/// Optimal scheduling is NP-complete in general (the paper cites Garey &
+/// Johnson), but blocks of ten-or-so instructions are exhaustively
+/// searchable.  The companion "learning how to schedule" line of work the
+/// paper builds on (Moss et al., NIPS'97) trained preference functions
+/// from exactly such small-block optimal schedules; PreferenceLearner
+/// reproduces that, and the tests use this search as ground truth for the
+/// CPS heuristic's quality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_SCHED_OPTIMALSCHEDULER_H
+#define SCHEDFILTER_SCHED_OPTIMALSCHEDULER_H
+
+#include "sched/DependenceGraph.h"
+#include "sim/BlockSimulator.h"
+
+namespace schedfilter {
+
+/// Result of the exhaustive search.
+struct OptimalResult {
+  /// A minimum-cost order (the lexicographically-first found).
+  std::vector<int> Order;
+  /// Its simulated cost in cycles.
+  uint64_t Cycles = 0;
+  /// True when the search space was fully explored (or pruned soundly);
+  /// false when the leaf budget was exhausted, making Cycles an upper
+  /// bound on the true optimum.
+  bool Exact = true;
+  /// Number of complete orders evaluated.
+  uint64_t LeavesExplored = 0;
+};
+
+/// Searches for the optimal order of \p BB under \p Model.  \p MaxLeaves
+/// bounds the number of complete schedules evaluated; blocks up to ~10-12
+/// instructions are typically exact well within the default budget.
+OptimalResult findOptimalSchedule(const BasicBlock &BB,
+                                  const MachineModel &Model,
+                                  uint64_t MaxLeaves = 200000);
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_SCHED_OPTIMALSCHEDULER_H

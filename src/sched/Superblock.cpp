@@ -1,0 +1,78 @@
+//===- sched/Superblock.cpp - Profile-guided superblock formation -----------===//
+
+#include "sched/Superblock.h"
+
+#include <cassert>
+
+using namespace schedfilter;
+
+namespace {
+
+/// Appends \p Src to \p Dst, renaming Src's block-local temporaries
+/// (registers >= TempBase) by \p Offset.
+void appendRenamed(BasicBlock &Dst, const BasicBlock &Src, Reg TempBase,
+                   Reg Offset) {
+  auto Rename = [&](std::vector<Reg> Regs) {
+    for (Reg &R : Regs)
+      if (R >= TempBase)
+        R = static_cast<Reg>(R + Offset);
+    return Regs;
+  };
+  for (const Instruction &I : Src) {
+    Instruction Renamed(I.getOpcode(), Rename(I.defs()), Rename(I.uses()));
+    Renamed.addAttrs(I.categories());
+    Dst.append(std::move(Renamed));
+  }
+}
+
+/// True when a trace that already contains \p Prev should continue into
+/// \p Next according to the profile.
+bool shouldChain(const BasicBlock &Prev, const BasicBlock &Next,
+                 const SuperblockOptions &Opts) {
+  if (Prev.empty() || Next.empty())
+    return false;
+  // A trace cannot continue past a return (no fallthrough).
+  const Instruction &Last = Prev[Prev.size() - 1];
+  if (Last.isTerminator() && Last.getOpcode() == Opcode::Ret)
+    return false;
+  double PrevExec = static_cast<double>(Prev.getExecCount());
+  double NextExec = static_cast<double>(Next.getExecCount());
+  if (PrevExec <= 0.0)
+    return false;
+  return NextExec >= Opts.MinContinuationRatio * PrevExec &&
+         NextExec <= PrevExec / Opts.MinContinuationRatio;
+}
+
+} // namespace
+
+std::vector<BasicBlock>
+schedfilter::formSuperblocks(const Method &M, SuperblockOptions Opts) {
+  std::vector<BasicBlock> Out;
+  size_t B = 0;
+  while (B != M.size()) {
+    const BasicBlock &Entry = M[B];
+    BasicBlock Super(M.getName() + ".sb" + std::to_string(Out.size()),
+                     Entry.getExecCount());
+    appendRenamed(Super, Entry, Opts.TempBase, /*Offset=*/0);
+    size_t Chained = 1;
+    while (B + Chained != M.size() && Chained < Opts.MaxBlocks &&
+           shouldChain(M[B + Chained - 1], M[B + Chained], Opts)) {
+      appendRenamed(Super, M[B + Chained], Opts.TempBase,
+                    static_cast<Reg>(Chained * Opts.RenameStride));
+      ++Chained;
+    }
+    B += Chained;
+    Out.push_back(std::move(Super));
+  }
+  return Out;
+}
+
+ScheduleResult
+schedfilter::scheduleSuperblock(const BasicBlock &Superblock,
+                                const MachineModel &Model) {
+  DependenceGraph Dag(Superblock, Model, /*SuperblockMode=*/true);
+  ListScheduler Scheduler(Model);
+  ScheduleResult R = Scheduler.schedule(Superblock, Dag);
+  R.WorkUnits += Dag.workUnits();
+  return R;
+}

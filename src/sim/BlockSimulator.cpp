@@ -1,0 +1,136 @@
+//===- sim/BlockSimulator.cpp - Simplified block timing model --------------===//
+
+#include "sim/BlockSimulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace schedfilter;
+
+uint64_t BlockSimulator::simulate(const BasicBlock &BB) const {
+  std::vector<int> Identity(BB.size());
+  for (size_t I = 0; I != BB.size(); ++I)
+    Identity[I] = static_cast<int>(I);
+  return simulate(BB, Identity);
+}
+
+uint64_t BlockSimulator::simulate(const BasicBlock &BB,
+                                  const std::vector<int> &Order) const {
+  return run(BB, Order, nullptr);
+}
+
+SimTrace BlockSimulator::simulateWithTrace(
+    const BasicBlock &BB, const std::vector<int> &Order) const {
+  SimTrace Trace;
+  Trace.TotalCycles = run(BB, Order, &Trace);
+  return Trace;
+}
+
+uint64_t BlockSimulator::run(const BasicBlock &BB,
+                             const std::vector<int> &Order,
+                             SimTrace *Trace) const {
+  assert(Order.size() == BB.size() && "order must cover the block");
+  if (BB.empty())
+    return 0;
+
+  // Scoreboard state.
+  std::unordered_map<Reg, uint64_t> RegReady; // cycle the value is available
+  std::vector<uint64_t> UnitFree(Model.getNumUnits(), 0);
+  uint64_t LastStoreDone = 0;   // completion cycle of the latest store
+  uint64_t SerializeUntil = 0;  // barrier: nothing may issue before this
+  uint64_t MaxCompletion = 0;
+
+  uint64_t Cycle = 0;
+  unsigned IssuedNonBranch = 0;
+  unsigned IssuedBranch = 0;
+
+  size_t Pos = 0;
+  while (Pos != Order.size()) {
+    const Instruction &Inst = BB[static_cast<size_t>(Order[Pos])];
+    const OpcodeInfo &Info = Inst.getInfo();
+    unsigned Lat = Model.getLatency(Inst.getOpcode());
+    bool IsBranchClass = Info.Unit == FuClass::Branch;
+
+    // Earliest cycle the instruction could issue, independent of the
+    // current cycle cursor: operands ready, memory ordered, barriers
+    // drained, and a suitable functional unit free.
+    uint64_t Earliest = SerializeUntil;
+    for (Reg U : Inst.uses()) {
+      auto It = RegReady.find(U);
+      if (It != RegReady.end())
+        Earliest = std::max(Earliest, It->second);
+    }
+    if (Inst.readsMemory())
+      Earliest = std::max(Earliest, LastStoreDone);
+
+    const std::vector<unsigned> &Candidates = Model.unitsFor(Info.Unit);
+    assert(!Candidates.empty() && "no functional unit for this class");
+    unsigned BestUnit = Candidates.front();
+    uint64_t BestFree = UnitFree[BestUnit];
+    for (unsigned U : Candidates) {
+      if (UnitFree[U] < BestFree) {
+        BestFree = UnitFree[U];
+        BestUnit = U;
+      }
+    }
+    Earliest = std::max(Earliest, BestFree);
+
+    // Advance the cycle cursor if this instruction must stall.  In-order
+    // issue: later instructions cannot bypass it.
+    if (Earliest > Cycle) {
+      Cycle = Earliest;
+      IssuedNonBranch = 0;
+      IssuedBranch = 0;
+    }
+
+    // Enforce per-cycle issue limits.
+    if (IsBranchClass ? IssuedBranch >= Model.getMaxIssueBranch()
+                      : IssuedNonBranch >= Model.getMaxIssueNonBranch()) {
+      ++Cycle;
+      IssuedNonBranch = 0;
+      IssuedBranch = 0;
+      continue; // retry the same instruction in the new cycle
+    }
+
+    // Issue.
+    uint64_t Done = Cycle + Lat;
+    for (Reg D : Inst.defs())
+      RegReady[D] = Done;
+    if (Inst.writesMemory())
+      LastStoreDone = std::max(LastStoreDone, Done);
+    UnitFree[BestUnit] =
+        Model.isPipelined(Inst.getOpcode()) ? Cycle + 1 : Done;
+    if (Inst.isBarrier())
+      SerializeUntil = std::max(SerializeUntil, Done);
+    MaxCompletion = std::max(MaxCompletion, Done);
+    if (Trace)
+      Trace->Events.push_back({Order[Pos], Cycle, Done, BestUnit});
+    if (IsBranchClass)
+      ++IssuedBranch;
+    else
+      ++IssuedNonBranch;
+    ++Pos;
+  }
+
+  return MaxCompletion;
+}
+
+std::string SimTrace::toString(const BasicBlock &BB,
+                               const MachineModel &M) const {
+  std::string Out = "cycle  unit  instruction (completes)\n";
+  for (const IssueEvent &E : Events) {
+    std::string Line = std::to_string(E.IssueCycle);
+    while (Line.size() < 5)
+      Line += ' ';
+    Line += "  " + M.units()[E.Unit].Name;
+    while (Line.size() < 11)
+      Line += ' ';
+    Line += "  " +
+            BB[static_cast<size_t>(E.OriginalIndex)].toString() + " (" +
+            std::to_string(E.CompleteCycle) + ")\n";
+    Out += Line;
+  }
+  Out += "total: " + std::to_string(TotalCycles) + " cycles\n";
+  return Out;
+}

@@ -1,0 +1,76 @@
+//===- sim/BlockSimulator.h - Simplified block timing model -----*- C++ -*-===//
+///
+/// \file
+/// The simplified machine simulator the paper uses to label training
+/// instances (§2.2): it estimates the cost in cycles of one basic block
+/// under a given instruction order.  As in the paper, the simulator makes
+/// simplifying assumptions — it models in-order issue with the 7410's issue
+/// rules (one branch plus two non-branch per cycle), per-class functional
+/// units with result latencies, and scoreboarded operand readiness; it does
+/// not model caches, branch prediction, or machine state carried across
+/// blocks.  "The exact cycle estimate is not crucial; rather, the estimate
+/// needs only to give a good sense of the difference in timing between two
+/// versions of the same block."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_SIM_BLOCKSIMULATOR_H
+#define SCHEDFILTER_SIM_BLOCKSIMULATOR_H
+
+#include "mir/BasicBlock.h"
+#include "target/MachineModel.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace schedfilter {
+
+/// Per-instruction pipeline events recorded by simulateWithTrace.
+struct IssueEvent {
+  int OriginalIndex = 0;     ///< index into the (unpermuted) block
+  uint64_t IssueCycle = 0;   ///< cycle the instruction began executing
+  uint64_t CompleteCycle = 0;///< cycle its result became available
+  unsigned Unit = 0;         ///< functional unit index that executed it
+};
+
+/// A full simulation trace: the block's total cycles plus one event per
+/// instruction, in issue order.  Useful for debugging schedules and for
+/// the examples' visualizations; the scalar simulate() entry points are
+/// what the experiment harness uses.
+struct SimTrace {
+  uint64_t TotalCycles = 0;
+  std::vector<IssueEvent> Events;
+
+  /// Renders an issue table, one line per instruction.
+  std::string toString(const BasicBlock &BB, const MachineModel &M) const;
+};
+
+/// Estimates block cost in cycles under a machine model.
+class BlockSimulator {
+public:
+  explicit BlockSimulator(const MachineModel &Model) : Model(Model) {}
+
+  /// Cycles to execute \p BB in its current instruction order.  Returns 0
+  /// for an empty block.
+  uint64_t simulate(const BasicBlock &BB) const;
+
+  /// Cycles to execute \p BB with its instructions permuted by \p Order
+  /// (Order[i] = original index of the i-th instruction executed).
+  uint64_t simulate(const BasicBlock &BB, const std::vector<int> &Order) const;
+
+  /// Like simulate(), additionally recording per-instruction issue and
+  /// completion cycles.  TotalCycles always equals what simulate()
+  /// returns for the same inputs.
+  SimTrace simulateWithTrace(const BasicBlock &BB,
+                             const std::vector<int> &Order) const;
+
+private:
+  uint64_t run(const BasicBlock &BB, const std::vector<int> &Order,
+               SimTrace *Trace) const;
+
+  const MachineModel &Model;
+};
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_SIM_BLOCKSIMULATOR_H

@@ -1,0 +1,71 @@
+//===- support/CommandLine.h - Minimal flag parsing -------------*- C++ -*-===//
+///
+/// \file
+/// A deliberately tiny command-line parser for the tools/ binaries:
+/// "--flag value" and "--flag=value" options plus positional arguments.
+/// No subcommands, no type registry -- the tools validate their own
+/// values and print their own usage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_SUPPORT_COMMANDLINE_H
+#define SCHEDFILTER_SUPPORT_COMMANDLINE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace schedfilter {
+
+/// Parsed command line: named options and positional arguments.
+class CommandLine {
+public:
+  /// Parses argv.  A token "--name" consumes the following token as its
+  /// value unless written "--name=value"; a bare trailing "--name" gets
+  /// the value "true" (boolean flag).  Everything else is positional.
+  CommandLine(int Argc, char **Argv) {
+    for (int I = 1; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (Arg.rfind("--", 0) != 0) {
+        Positional.push_back(Arg);
+        continue;
+      }
+      std::string Name = Arg.substr(2);
+      size_t Eq = Name.find('=');
+      if (Eq != std::string::npos) {
+        Options[Name.substr(0, Eq)] = Name.substr(Eq + 1);
+      } else if (I + 1 < Argc && std::string(Argv[I + 1]).rfind("--", 0) != 0) {
+        Options[Name] = Argv[++I];
+      } else {
+        Options[Name] = "true";
+      }
+    }
+  }
+
+  /// Returns the option's value or \p Default when absent.
+  std::string get(const std::string &Name,
+                  const std::string &Default = "") const {
+    auto It = Options.find(Name);
+    return It == Options.end() ? Default : It->second;
+  }
+
+  /// Returns the option parsed as double, or \p Default.
+  double getDouble(const std::string &Name, double Default) const {
+    auto It = Options.find(Name);
+    if (It == Options.end())
+      return Default;
+    return std::strtod(It->second.c_str(), nullptr);
+  }
+
+  bool has(const std::string &Name) const { return Options.count(Name) != 0; }
+
+  const std::vector<std::string> &positional() const { return Positional; }
+
+private:
+  std::map<std::string, std::string> Options;
+  std::vector<std::string> Positional;
+};
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_SUPPORT_COMMANDLINE_H

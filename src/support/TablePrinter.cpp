@@ -1,0 +1,53 @@
+//===- support/TablePrinter.cpp - Fixed-width table rendering ------------===//
+
+#include "support/TablePrinter.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace schedfilter;
+
+TablePrinter::TablePrinter(std::vector<std::string> Hdr)
+    : Header(std::move(Hdr)) {
+  assert(!Header.empty() && "table needs at least one column");
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() <= Header.size() && "row longer than header");
+  Cells.resize(Header.size());
+  Rows.push_back(std::move(Cells));
+}
+
+void TablePrinter::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t C = 0; C != Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      if (Row[C].size() > Widths[C])
+        Widths[C] = Row[C].size();
+
+  size_t Total = 0;
+  for (size_t C = 0; C != Header.size(); ++C) {
+    OS << (C ? "  " : "") << padRight(Header[C], Widths[C]);
+    Total += Widths[C] + (C ? 2 : 0);
+  }
+  OS << '\n' << std::string(Total, '-') << '\n';
+  for (const auto &Row : Rows) {
+    for (size_t C = 0; C != Row.size(); ++C)
+      OS << (C ? "  " : "") << padRight(Row[C], Widths[C]);
+    OS << '\n';
+  }
+}
+
+void TablePrinter::printCsv(std::ostream &OS) const {
+  for (size_t C = 0; C != Header.size(); ++C)
+    OS << (C ? "," : "") << Header[C];
+  OS << '\n';
+  for (const auto &Row : Rows) {
+    for (size_t C = 0; C != Row.size(); ++C)
+      OS << (C ? "," : "") << Row[C];
+    OS << '\n';
+  }
+}

@@ -1,0 +1,47 @@
+//===- workloads/ProgramGenerator.h - Spec -> Program ------------*- C++ -*-===//
+///
+/// \file
+/// Expands a BenchmarkSpec into a deterministic Program.  Blocks are built
+/// from *statements* — small expression trees emitted depth first, the
+/// naive instruction order a stack-machine JIT produces — so that a block
+/// with several independent statements has instruction-level parallelism a
+/// list scheduler can exploit, while single-statement blocks are serial
+/// chains that scheduling cannot improve.  This is the mechanism that
+/// makes "does this block benefit from scheduling?" a learnable function
+/// of the paper's cheap features.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_WORKLOADS_PROGRAMGENERATOR_H
+#define SCHEDFILTER_WORKLOADS_PROGRAMGENERATOR_H
+
+#include "mir/Program.h"
+#include "support/Rng.h"
+#include "workloads/BenchmarkSpec.h"
+
+namespace schedfilter {
+
+/// Deterministic program synthesis from a benchmark profile.
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(const BenchmarkSpec &Spec) : Spec(Spec) {}
+
+  /// Builds the whole benchmark program.  Calling twice returns identical
+  /// programs (all randomness derives from Spec.Seed).
+  Program generate() const;
+
+  /// Builds a single block with \p NumStatements statements; exposed for
+  /// tests and microbenchmarks that need size-controlled blocks.
+  BasicBlock generateBlock(Rng &R, int NumStatements,
+                           bool EndWithTerminator) const;
+
+private:
+  const BenchmarkSpec &Spec;
+};
+
+/// Convenience: generates every program of a suite, in suite order.
+std::vector<Program> generateSuite(const std::vector<BenchmarkSpec> &Suite);
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_WORKLOADS_PROGRAMGENERATOR_H

@@ -1,0 +1,61 @@
+//===- tests/TestHelpers.h - Shared fixtures for the test suite -*- C++ -*-===//
+///
+/// \file
+/// Block builders and shrunken benchmark suites shared across test files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_TESTS_TESTHELPERS_H
+#define SCHEDFILTER_TESTS_TESTHELPERS_H
+
+#include "mir/BasicBlock.h"
+#include "workloads/BenchmarkSpec.h"
+
+namespace schedfilter {
+namespace test {
+
+/// Two independent float multiply trees feeding an add and a store, in
+/// naive (depth-first) order: the canonical block that benefits from
+/// scheduling on a machine with load/FP latency.
+inline BasicBlock makeIlpFloatBlock(uint64_t ExecCount = 1) {
+  BasicBlock BB("ilp-float", ExecCount);
+  BB.append(Instruction(Opcode::LoadFloat, {100}, {0}));
+  BB.append(Instruction(Opcode::FMul, {101}, {100, 100}));
+  BB.append(Instruction(Opcode::LoadFloat, {102}, {1}));
+  BB.append(Instruction(Opcode::FMul, {103}, {102, 102}));
+  BB.append(Instruction(Opcode::FAdd, {104}, {101, 103}));
+  BB.append(Instruction(Opcode::StoreFloat, {}, {104, 2}));
+  return BB;
+}
+
+/// A pure dependence chain: load -> add -> add -> store.  Only one legal
+/// order, so scheduling cannot help.
+inline BasicBlock makeChainBlock(uint64_t ExecCount = 1) {
+  BasicBlock BB("chain", ExecCount);
+  BB.append(Instruction(Opcode::LoadInt, {100}, {0}));
+  BB.append(Instruction(Opcode::Add, {101}, {100, 1}));
+  BB.append(Instruction(Opcode::Add, {102}, {101, 2}));
+  BB.append(Instruction(Opcode::StoreInt, {}, {102, 3}));
+  return BB;
+}
+
+/// A tiny block: one move and a return.
+inline BasicBlock makeTrivialBlock(uint64_t ExecCount = 1) {
+  BasicBlock BB("trivial", ExecCount);
+  BB.append(Instruction(Opcode::Move, {100}, {0}));
+  BB.append(Instruction(Opcode::Ret, {}, {}));
+  return BB;
+}
+
+/// Shrinks every spec of a suite so tests run in milliseconds.
+inline std::vector<BenchmarkSpec>
+shrinkSuite(std::vector<BenchmarkSpec> Suite, int NumMethods = 10) {
+  for (BenchmarkSpec &S : Suite)
+    S.NumMethods = NumMethods;
+  return Suite;
+}
+
+} // namespace test
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_TESTS_TESTHELPERS_H

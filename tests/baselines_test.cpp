@@ -1,0 +1,98 @@
+//===- tests/baselines_test.cpp - ml/Baselines unit tests --------------------===//
+
+#include "ml/Baselines.h"
+
+#include "ml/Metrics.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace schedfilter;
+
+namespace {
+
+FeatureVector fv(double BBLen, double Floats = 0.0) {
+  FeatureVector X{};
+  X[FeatBBLen] = BBLen;
+  X[FeatFloat] = Floats;
+  return X;
+}
+
+} // namespace
+
+TEST(Baselines, AlwaysScheduleSaysLSForEverything) {
+  RuleSet RS = makeAlwaysSchedule();
+  EXPECT_EQ(RS.predict(fv(1)), Label::LS);
+  EXPECT_EQ(RS.predict(fv(100, 1.0)), Label::LS);
+}
+
+TEST(Baselines, NeverScheduleSaysNSForEverything) {
+  RuleSet RS = makeNeverSchedule();
+  EXPECT_EQ(RS.predict(fv(1)), Label::NS);
+  EXPECT_EQ(RS.predict(fv(100, 1.0)), Label::NS);
+  EXPECT_EQ(RS.size(), 0u);
+}
+
+TEST(Baselines, SizeStumpLearnsThreshold) {
+  Dataset D("stump");
+  for (int I = 1; I <= 50; ++I)
+    D.add({fv(I), I >= 9 ? Label::LS : Label::NS});
+  RuleSet RS = learnSizeStump(D);
+  EXPECT_EQ(evaluate(RS, D).errors(), 0u);
+  EXPECT_EQ(RS.predict(fv(20)), Label::LS);
+  EXPECT_EQ(RS.predict(fv(5)), Label::NS);
+}
+
+TEST(Baselines, SizeStumpInvertedPolarity) {
+  // Small blocks positive: the stump must handle "<=" splits too.
+  Dataset D("inv");
+  for (int I = 1; I <= 40; ++I)
+    D.add({fv(I), I <= 6 ? Label::LS : Label::NS});
+  RuleSet RS = learnSizeStump(D);
+  EXPECT_EQ(evaluate(RS, D).errors(), 0u);
+}
+
+TEST(Baselines, SizeStumpFallsBackToMajority) {
+  // bbLen carries no signal: stump degrades to the majority class.
+  Dataset D("nosignal");
+  Rng R(5);
+  for (int I = 0; I != 200; ++I)
+    D.add({fv(R.range(1, 10)), R.chance(0.2) ? Label::LS : Label::NS});
+  RuleSet RS = learnSizeStump(D);
+  size_t Minority = std::min(D.countLabel(Label::LS),
+                             D.countLabel(Label::NS));
+  EXPECT_LE(evaluate(RS, D).errors(), Minority);
+}
+
+TEST(Baselines, OneRPicksTheInformativeFeature) {
+  // Signal lives in the float fraction, not bbLen.
+  Dataset D("onerfeat");
+  Rng R(9);
+  for (int I = 0; I != 400; ++I) {
+    double Floats = R.uniform();
+    D.add({fv(R.range(1, 20), Floats),
+           Floats >= 0.5 ? Label::LS : Label::NS});
+  }
+  RuleSet RS = learnOneR(D);
+  EXPECT_LE(errorRatePercent(RS, D), 1.0);
+  ASSERT_EQ(RS.size(), 1u);
+  ASSERT_EQ(RS.rules()[0].size(), 1u);
+  EXPECT_EQ(RS.rules()[0].Conditions[0].Feature,
+            static_cast<unsigned>(FeatFloat));
+}
+
+TEST(Baselines, OneRAtLeastAsGoodAsSizeStump) {
+  Dataset D("both");
+  Rng R(13);
+  for (int I = 0; I != 400; ++I) {
+    double BBLen = R.range(1, 20);
+    D.add({fv(BBLen, R.uniform()), BBLen >= 12 ? Label::LS : Label::NS});
+  }
+  EXPECT_LE(evaluate(learnOneR(D), D).errors(),
+            evaluate(learnSizeStump(D), D).errors());
+}
+
+TEST(Baselines, EmptyDataSafe) {
+  EXPECT_EQ(learnSizeStump(Dataset("e")).predict(fv(10)), Label::NS);
+  EXPECT_EQ(learnOneR(Dataset("e")).predict(fv(10)), Label::NS);
+}

@@ -1,0 +1,164 @@
+//===- tests/decisiontree_test.cpp - ml/DecisionTree unit tests ---------------===//
+
+#include "ml/DecisionTree.h"
+
+#include "ml/Metrics.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace schedfilter;
+
+namespace {
+
+FeatureVector fv(double BBLen, double Loads = 0.0, double Floats = 0.0) {
+  FeatureVector X{};
+  X[FeatBBLen] = BBLen;
+  X[FeatLoad] = Loads;
+  X[FeatFloat] = Floats;
+  return X;
+}
+
+Dataset thresholdData(size_t N, uint64_t Seed, double Split = 8.0) {
+  Dataset D("thresh");
+  Rng R(Seed);
+  for (size_t I = 0; I != N; ++I) {
+    double BBLen = R.range(1, 20);
+    D.add({fv(BBLen, R.uniform()), BBLen >= Split ? Label::LS : Label::NS});
+  }
+  return D;
+}
+
+Dataset xorishData(size_t N, uint64_t Seed) {
+  // LS iff exactly one of (bbLen >= 10, loads >= 0.5): a concept a single
+  // split cannot express, but a depth-2 tree can.
+  Dataset D("xorish");
+  Rng R(Seed);
+  for (size_t I = 0; I != N; ++I) {
+    double BBLen = R.range(1, 20);
+    double Loads = R.uniform();
+    bool A = BBLen >= 10.0, B = Loads >= 0.5;
+    D.add({fv(BBLen, Loads), (A != B) ? Label::LS : Label::NS});
+  }
+  return D;
+}
+
+} // namespace
+
+TEST(DecisionTree, EmptyDataPredictsNS) {
+  DecisionTree T = DecisionTree::train(Dataset("e"));
+  EXPECT_EQ(T.predict(fv(100)), Label::NS);
+  EXPECT_EQ(T.numSplits(), 0u);
+  EXPECT_EQ(T.numLeaves(), 1u);
+}
+
+TEST(DecisionTree, LearnsSimpleThreshold) {
+  Dataset D = thresholdData(600, 1);
+  DecisionTree T = DecisionTree::train(D);
+  size_t Errors = 0;
+  for (const Instance &I : D)
+    Errors += T.predict(I.X) != I.Y;
+  EXPECT_EQ(Errors, 0u);
+  EXPECT_EQ(T.numSplits(), 1u) << "one threshold should need one split";
+}
+
+TEST(DecisionTree, LearnsXorishConcept) {
+  Dataset D = xorishData(1200, 2);
+  DecisionTree T = DecisionTree::train(D);
+  size_t Errors = 0;
+  for (const Instance &I : D)
+    Errors += T.predict(I.X) != I.Y;
+  EXPECT_LT(static_cast<double>(Errors) / static_cast<double>(D.size()),
+            0.03);
+  EXPECT_GE(T.depth(), 2u);
+}
+
+TEST(DecisionTree, GeneralizesToFreshSamples) {
+  DecisionTree T = DecisionTree::train(xorishData(1200, 3));
+  Dataset Test = xorishData(600, 33);
+  size_t Errors = 0;
+  for (const Instance &I : Test)
+    Errors += T.predict(I.X) != I.Y;
+  EXPECT_LT(static_cast<double>(Errors) / static_cast<double>(Test.size()),
+            0.06);
+}
+
+TEST(DecisionTree, RespectsDepthCap) {
+  DecisionTreeOptions O;
+  O.MaxDepth = 2;
+  DecisionTree T = DecisionTree::train(xorishData(800, 4), O);
+  EXPECT_LE(T.depth(), 2u);
+}
+
+TEST(DecisionTree, MinLeafSizeLimitsGrowth) {
+  DecisionTreeOptions Small, Large;
+  Small.MinLeafSize = 2;
+  Large.MinLeafSize = 200;
+  Dataset D = xorishData(800, 5);
+  EXPECT_GE(DecisionTree::train(D, Small).numLeaves(),
+            DecisionTree::train(D, Large).numLeaves());
+}
+
+TEST(DecisionTree, PruningShrinksNoisyTrees) {
+  // Pure noise: pruning should collapse to (nearly) a single leaf.
+  Dataset D("noise");
+  Rng R(6);
+  for (int I = 0; I != 800; ++I)
+    D.add({fv(R.range(1, 20), R.uniform()),
+           R.chance(0.3) ? Label::LS : Label::NS});
+  DecisionTree T = DecisionTree::train(D);
+  EXPECT_LE(T.numLeaves(), 12u);
+}
+
+TEST(DecisionTree, ToRuleSetEquivalentToTree) {
+  // Leaves are disjoint, so the extracted rules must predict identically
+  // to the tree on any input.
+  Dataset D = xorishData(900, 7);
+  DecisionTree T = DecisionTree::train(D);
+  RuleSet RS = T.toRuleSet(D);
+  Rng R(77);
+  for (int I = 0; I != 500; ++I) {
+    FeatureVector X = fv(R.range(1, 20), R.uniform(), R.uniform());
+    EXPECT_EQ(T.predict(X), RS.predict(X));
+  }
+}
+
+TEST(DecisionTree, RuleSetCoverageAnnotated) {
+  Dataset D = thresholdData(400, 8);
+  RuleSet RS = DecisionTree::train(D).toRuleSet(D);
+  size_t Claimed = 0;
+  for (const Rule &R : RS.rules())
+    Claimed += R.NumCorrect + R.NumIncorrect;
+  EXPECT_EQ(Claimed, D.countLabel(Label::LS)); // perfect split: LS leaves
+}
+
+TEST(DecisionTree, ToStringRendersStructure) {
+  Dataset D = thresholdData(400, 9);
+  std::string S = DecisionTree::train(D).toString();
+  EXPECT_NE(S.find("if bbLen <= "), std::string::npos);
+  EXPECT_NE(S.find("-> list"), std::string::npos);
+  EXPECT_NE(S.find("-> orig"), std::string::npos);
+}
+
+TEST(DecisionTree, LearnerAdapterWorksInLoocv) {
+  Dataset D = thresholdData(500, 10);
+  RuleSet RS = learnDecisionTreeRules(D);
+  EXPECT_LE(errorRatePercent(RS, D), 1.0);
+}
+
+// Property: the tree never does worse on training data than the majority
+// class, across seeds.
+class TreeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeProperty, NeverWorseThanMajority) {
+  Dataset D = xorishData(400, GetParam());
+  DecisionTree T = DecisionTree::train(D);
+  size_t Errors = 0;
+  for (const Instance &I : D)
+    Errors += T.predict(I.X) != I.Y;
+  EXPECT_LE(Errors,
+            std::min(D.countLabel(Label::LS), D.countLabel(Label::NS)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeProperty,
+                         ::testing::Values(10, 20, 30, 40, 50));

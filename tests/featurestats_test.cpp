@@ -1,0 +1,95 @@
+//===- tests/featurestats_test.cpp - FeatureStats & CommandLine tests ---------===//
+
+#include "features/FeatureStats.h"
+#include "support/CommandLine.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace schedfilter;
+
+namespace {
+
+FeatureVector fv(double BBLen, double Loads) {
+  FeatureVector X{};
+  X[FeatBBLen] = BBLen;
+  X[FeatLoad] = Loads;
+  return X;
+}
+
+Dataset separated() {
+  Dataset D("sep");
+  // LS blocks: big with many loads; NS blocks: small with few.
+  for (int I = 0; I != 50; ++I) {
+    D.add({fv(10 + I % 5, 0.6), Label::LS});
+    D.add({fv(3 + I % 3, 0.1), Label::NS});
+  }
+  return D;
+}
+
+} // namespace
+
+TEST(FeatureStats, MeansPerClass) {
+  FeatureStats S(separated());
+  EXPECT_GT(S.forClass(FeatBBLen, Label::LS).Mean,
+            S.forClass(FeatBBLen, Label::NS).Mean);
+  EXPECT_NEAR(S.forClass(FeatLoad, Label::LS).Mean, 0.6, 1e-9);
+  EXPECT_NEAR(S.forClass(FeatLoad, Label::NS).Mean, 0.1, 1e-9);
+  EXPECT_EQ(S.forClass(FeatLoad, Label::LS).Count, 50u);
+}
+
+TEST(FeatureStats, MinMaxTracked) {
+  FeatureStats S(separated());
+  EXPECT_DOUBLE_EQ(S.forClass(FeatBBLen, Label::LS).Min, 10.0);
+  EXPECT_DOUBLE_EQ(S.forClass(FeatBBLen, Label::LS).Max, 14.0);
+  EXPECT_DOUBLE_EQ(S.forClass(FeatBBLen, Label::NS).Min, 3.0);
+}
+
+TEST(FeatureStats, SeparationRanksInformativeFeaturesFirst) {
+  FeatureStats S(separated());
+  EXPECT_GT(S.separation(FeatLoad), 0.5);
+  EXPECT_DOUBLE_EQ(S.separation(FeatFloat), 0.0); // constant feature
+  std::vector<unsigned> Ranked = S.rankedFeatures();
+  // The two informative features must outrank every constant one.
+  EXPECT_TRUE(Ranked[0] == FeatLoad || Ranked[0] == FeatBBLen);
+  EXPECT_TRUE(Ranked[1] == FeatLoad || Ranked[1] == FeatBBLen);
+}
+
+TEST(FeatureStats, EmptyAndSingleClassSafe) {
+  FeatureStats Empty(Dataset("e"));
+  EXPECT_DOUBLE_EQ(Empty.separation(FeatBBLen), 0.0);
+  Dataset OneClass("o");
+  OneClass.add({fv(5, 0.5), Label::NS});
+  FeatureStats S(OneClass);
+  EXPECT_DOUBLE_EQ(S.separation(FeatBBLen), 0.0);
+}
+
+TEST(FeatureStats, PrintIncludesAllFeatures) {
+  std::ostringstream OS;
+  FeatureStats(separated()).print(OS);
+  for (unsigned F = 0; F != NumFeatures; ++F)
+    EXPECT_NE(OS.str().find(getFeatureName(F)), std::string::npos);
+}
+
+TEST(CommandLine, OptionsAndPositionals) {
+  const char *Argv[] = {"prog", "trace.csv", "--threshold", "20",
+                        "--learner=tree", "more.csv", "--verbose"};
+  CommandLine CL(7, const_cast<char **>(Argv));
+  EXPECT_EQ(CL.get("threshold"), "20");
+  EXPECT_EQ(CL.get("learner"), "tree");
+  EXPECT_EQ(CL.get("verbose"), "true");
+  EXPECT_TRUE(CL.has("verbose"));
+  EXPECT_FALSE(CL.has("missing"));
+  EXPECT_EQ(CL.get("missing", "dflt"), "dflt");
+  ASSERT_EQ(CL.positional().size(), 2u);
+  EXPECT_EQ(CL.positional()[0], "trace.csv");
+  EXPECT_EQ(CL.positional()[1], "more.csv");
+}
+
+TEST(CommandLine, GetDouble) {
+  const char *Argv[] = {"prog", "--threshold", "12.5"};
+  CommandLine CL(3, const_cast<char **>(Argv));
+  EXPECT_DOUBLE_EQ(CL.getDouble("threshold", 0.0), 12.5);
+  EXPECT_DOUBLE_EQ(CL.getDouble("absent", 7.0), 7.0);
+}

@@ -1,0 +1,87 @@
+//===- tests/labeler_test.cpp - ml/Labeler unit tests -----------------------===//
+
+#include "ml/Labeler.h"
+
+#include <gtest/gtest.h>
+
+using namespace schedfilter;
+
+namespace {
+
+BlockRecord record(uint64_t CostNo, uint64_t CostSched) {
+  BlockRecord R;
+  R.CostNoSched = CostNo;
+  R.CostSched = CostSched;
+  return R;
+}
+
+} // namespace
+
+TEST(Labeler, BenefitPercentMath) {
+  EXPECT_DOUBLE_EQ(schedulingBenefitPercent(record(100, 80)), 20.0);
+  EXPECT_DOUBLE_EQ(schedulingBenefitPercent(record(100, 100)), 0.0);
+  EXPECT_DOUBLE_EQ(schedulingBenefitPercent(record(100, 110)), -10.0);
+  EXPECT_DOUBLE_EQ(schedulingBenefitPercent(record(0, 0)), 0.0);
+}
+
+TEST(Labeler, ZeroThresholdSplitsOnAnyImprovement) {
+  EXPECT_EQ(labelWithThreshold(record(100, 99), 0.0), Label::LS);
+  EXPECT_EQ(labelWithThreshold(record(100, 100), 0.0), Label::NS);
+  EXPECT_EQ(labelWithThreshold(record(100, 101), 0.0), Label::NS);
+}
+
+TEST(Labeler, PositiveThresholdDropsTheNoiseBand) {
+  // Benefit 10% at t=20: in (0, t], so no training instance at all.
+  EXPECT_EQ(labelWithThreshold(record(100, 90), 20.0), std::nullopt);
+  // Benefit exactly t is still dropped (rule is "more than t% less").
+  EXPECT_EQ(labelWithThreshold(record(100, 80), 20.0), std::nullopt);
+  // Above t: LS.
+  EXPECT_EQ(labelWithThreshold(record(100, 79), 20.0), Label::LS);
+  // "NS if scheduling is not better (at all)" regardless of t.
+  EXPECT_EQ(labelWithThreshold(record(100, 100), 20.0), Label::NS);
+  EXPECT_EQ(labelWithThreshold(record(100, 120), 20.0), Label::NS);
+}
+
+TEST(Labeler, BuildDatasetDropsBandOnly) {
+  std::vector<BlockRecord> Records = {
+      record(100, 70),  // 30% -> LS at t=20
+      record(100, 90),  // 10% -> dropped at t=20
+      record(100, 100), // 0%  -> NS
+      record(100, 130), // -30% -> NS
+  };
+  Dataset D = buildDataset(Records, 20.0, "x");
+  EXPECT_EQ(D.size(), 3u);
+  EXPECT_EQ(D.countLabel(Label::LS), 1u);
+  EXPECT_EQ(D.countLabel(Label::NS), 2u);
+}
+
+TEST(Labeler, NsCountInvariantUnderThreshold) {
+  // The paper's Table 5: NS is constant as t varies, only LS shrinks.
+  std::vector<BlockRecord> Records;
+  for (int B = 0; B <= 50; ++B)
+    Records.push_back(record(100, static_cast<uint64_t>(100 - B)));
+  for (int B = 1; B <= 20; ++B)
+    Records.push_back(record(100, static_cast<uint64_t>(100 + B)));
+
+  size_t NsAt0 = buildDataset(Records, 0.0, "x").countLabel(Label::NS);
+  size_t PrevLS = buildDataset(Records, 0.0, "x").countLabel(Label::LS);
+  for (double T : {5.0, 10.0, 25.0, 50.0}) {
+    Dataset D = buildDataset(Records, T, "x");
+    EXPECT_EQ(D.countLabel(Label::NS), NsAt0);
+    EXPECT_LE(D.countLabel(Label::LS), PrevLS);
+    PrevLS = D.countLabel(Label::LS);
+  }
+}
+
+TEST(Labeler, DatasetKeepsName) {
+  EXPECT_EQ(buildDataset({}, 0.0, "compress").getName(), "compress");
+}
+
+TEST(Labeler, FeaturesCarriedThrough) {
+  BlockRecord R = record(100, 50);
+  R.X[FeatBBLen] = 42.0;
+  Dataset D = buildDataset({R}, 0.0, "x");
+  ASSERT_EQ(D.size(), 1u);
+  EXPECT_EQ(D[0].X[FeatBBLen], 42.0);
+  EXPECT_EQ(D[0].Y, Label::LS);
+}

@@ -1,0 +1,165 @@
+//===- tests/scheduler_test.cpp - sched/ListScheduler unit tests ------------===//
+
+#include "sched/ListScheduler.h"
+
+#include "TestHelpers.h"
+#include "sched/ScheduleVerifier.h"
+#include "sim/BlockSimulator.h"
+#include "workloads/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace schedfilter;
+using namespace schedfilter::test;
+
+namespace {
+
+bool isPermutation(const std::vector<int> &Order, size_t N) {
+  if (Order.size() != N)
+    return false;
+  std::vector<int> Sorted = Order;
+  std::sort(Sorted.begin(), Sorted.end());
+  for (size_t I = 0; I != N; ++I)
+    if (Sorted[I] != static_cast<int>(I))
+      return false;
+  return true;
+}
+
+} // namespace
+
+TEST(ListScheduler, IdentityHelper) {
+  BasicBlock BB = makeChainBlock();
+  ScheduleResult R = ListScheduler::identity(BB);
+  EXPECT_EQ(R.Order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ListScheduler, EmptyBlock) {
+  MachineModel M = MachineModel::ppc7410();
+  ListScheduler S(M);
+  BasicBlock BB("empty");
+  EXPECT_TRUE(S.schedule(BB).Order.empty());
+}
+
+TEST(ListScheduler, ChainStaysInOrder) {
+  MachineModel M = MachineModel::ppc7410();
+  ListScheduler S(M);
+  BasicBlock BB = makeChainBlock();
+  ScheduleResult R = S.schedule(BB);
+  EXPECT_EQ(R.Order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ListScheduler, HoistsIndependentLoadIntoStallSlot) {
+  MachineModel M = MachineModel::ppc7410();
+  ListScheduler S(M);
+  BasicBlock BB = makeIlpFloatBlock();
+  ScheduleResult R = S.schedule(BB);
+  // The naive order is ld,fmul,ld,fmul,fadd,st; CPS should start both
+  // loads before the first multiply.
+  std::vector<int> Pos(BB.size());
+  for (size_t P = 0; P != R.Order.size(); ++P)
+    Pos[static_cast<size_t>(R.Order[P])] = static_cast<int>(P);
+  EXPECT_LT(Pos[2], Pos[1]) << "second load should hoist above first fmul";
+}
+
+TEST(ListScheduler, ScheduledNeverSlowerOnIlpBlock) {
+  MachineModel M = MachineModel::ppc7410();
+  ListScheduler S(M);
+  BlockSimulator Sim(M);
+  BasicBlock BB = makeIlpFloatBlock();
+  uint64_t Before = Sim.simulate(BB);
+  uint64_t After = Sim.simulate(BB, S.schedule(BB).Order);
+  EXPECT_LT(After, Before);
+}
+
+TEST(ListScheduler, DeterministicAcrossCalls) {
+  MachineModel M = MachineModel::ppc7410();
+  ListScheduler S(M);
+  const BenchmarkSpec *Spec = findBenchmarkSpec("mpegaudio");
+  Rng R(99);
+  for (int Trial = 0; Trial != 10; ++Trial) {
+    BasicBlock BB = ProgramGenerator(*Spec).generateBlock(R, 4, true);
+    EXPECT_EQ(S.schedule(BB).Order, S.schedule(BB).Order);
+  }
+}
+
+TEST(ListScheduler, WorkUnitsIncludeDagWhenSelfBuilt) {
+  MachineModel M = MachineModel::ppc7410();
+  ListScheduler S(M);
+  BasicBlock BB = makeIlpFloatBlock();
+  DependenceGraph Dag(BB, M);
+  ScheduleResult WithDag = S.schedule(BB);
+  ScheduleResult WithoutDag = S.schedule(BB, Dag);
+  EXPECT_EQ(WithDag.WorkUnits, WithoutDag.WorkUnits + Dag.workUnits());
+}
+
+TEST(ListScheduler, PrefersLongerCriticalPathOnTies) {
+  MachineModel M = MachineModel::ppc7410();
+  ListScheduler S(M);
+  // Two ready-at-zero chains; the fdiv chain is much longer and should be
+  // started first even though it appears later in program order.
+  BasicBlock BB("ties");
+  BB.append(Instruction(Opcode::Add, {100}, {0, 1}));
+  BB.append(Instruction(Opcode::FDiv, {101}, {32, 33}));
+  BB.append(Instruction(Opcode::FAdd, {102}, {101, 34}));
+  ScheduleResult R = S.schedule(BB);
+  EXPECT_EQ(R.Order.front(), 1) << "long fdiv chain should start first";
+}
+
+TEST(ListScheduler, TerminatorAlwaysLast) {
+  MachineModel M = MachineModel::ppc7410();
+  ListScheduler S(M);
+  const BenchmarkSpec *Spec = findBenchmarkSpec("javac");
+  Rng R(123);
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    BasicBlock BB = ProgramGenerator(*Spec).generateBlock(
+        R, R.range(0, 6), /*EndWithTerminator=*/true);
+    if (BB.empty() || !BB[BB.size() - 1].isTerminator())
+      continue;
+    ScheduleResult SR = S.schedule(BB);
+    EXPECT_EQ(SR.Order.back(), static_cast<int>(BB.size()) - 1);
+  }
+}
+
+TEST(ScheduleVerifier, AcceptsLegalAndRejectsIllegal) {
+  MachineModel M = MachineModel::ppc7410();
+  BasicBlock BB = makeChainBlock();
+  EXPECT_TRUE(verifySchedule(BB, M, {0, 1, 2, 3}).Ok);
+  EXPECT_FALSE(verifySchedule(BB, M, {1, 0, 2, 3}).Ok); // violates RAW
+  EXPECT_FALSE(verifySchedule(BB, M, {0, 1, 2}).Ok);    // wrong size
+  EXPECT_FALSE(verifySchedule(BB, M, {0, 0, 2, 3}).Ok); // duplicate
+  EXPECT_FALSE(verifySchedule(BB, M, {0, 1, 2, 7}).Ok); // out of range
+}
+
+// The core safety property, swept over every benchmark profile and many
+// seeds: the scheduler always emits a legal permutation (all dependent
+// pairs keep their order -- the paper's definition of semantic
+// equivalence).
+class SchedulerLegality
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+TEST_P(SchedulerLegality, AlwaysLegalPermutation) {
+  MachineModel M = MachineModel::ppc7410();
+  ListScheduler S(M);
+  const BenchmarkSpec *Spec =
+      findBenchmarkSpec(std::get<0>(GetParam()));
+  ASSERT_NE(Spec, nullptr);
+  Rng R(std::get<1>(GetParam()));
+  for (int Trial = 0; Trial != 25; ++Trial) {
+    BasicBlock BB = ProgramGenerator(*Spec).generateBlock(
+        R, R.range(0, 9), /*EndWithTerminator=*/R.chance(0.8));
+    DependenceGraph Dag(BB, M);
+    ScheduleResult SR = S.schedule(BB, Dag);
+    EXPECT_TRUE(isPermutation(SR.Order, BB.size()));
+    ScheduleVerifyResult V = verifySchedule(Dag, SR.Order);
+    EXPECT_TRUE(V.Ok) << V.Message;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, SchedulerLegality,
+    ::testing::Combine(::testing::Values("compress", "jess", "db", "javac",
+                                         "mpegaudio", "raytrace", "jack",
+                                         "linpack", "aes", "voronoi"),
+                       ::testing::Values(7u, 77u)));

@@ -1,0 +1,156 @@
+//===- tests/serialization_test.cpp - ml/Serialization unit tests -------------===//
+
+#include "ml/Serialization.h"
+
+#include "ml/Ripper.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace schedfilter;
+
+namespace {
+
+RuleSet sampleRuleSet() {
+  RuleSet RS(Label::NS);
+  Rule R1;
+  R1.Conclusion = Label::LS;
+  R1.Conditions.push_back({FeatBBLen, false, 7.0});
+  R1.Conditions.push_back({FeatCall, true, 0.0857});
+  RS.addRule(R1);
+  Rule R2;
+  R2.Conclusion = Label::LS;
+  R2.Conditions.push_back({FeatLoad, false, 0.3793});
+  RS.addRule(R2);
+  return RS;
+}
+
+} // namespace
+
+TEST(Serialization, RoundTripPreservesSemantics) {
+  RuleSet RS = sampleRuleSet();
+  std::stringstream SS;
+  writeRuleSet(RS, SS);
+  std::optional<RuleSet> Back = readRuleSet(SS);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->getDefaultClass(), RS.getDefaultClass());
+  ASSERT_EQ(Back->size(), RS.size());
+  for (size_t I = 0; I != RS.size(); ++I) {
+    const Rule &A = RS.rules()[I];
+    const Rule &B = Back->rules()[I];
+    EXPECT_EQ(A.Conclusion, B.Conclusion);
+    ASSERT_EQ(A.Conditions.size(), B.Conditions.size());
+    for (size_t C = 0; C != A.Conditions.size(); ++C) {
+      EXPECT_EQ(A.Conditions[C].Feature, B.Conditions[C].Feature);
+      EXPECT_EQ(A.Conditions[C].IsLessEqual, B.Conditions[C].IsLessEqual);
+      EXPECT_DOUBLE_EQ(A.Conditions[C].Threshold, B.Conditions[C].Threshold);
+    }
+  }
+}
+
+TEST(Serialization, RoundTripExactThresholds) {
+  // %.17g must reproduce doubles bit-exactly.
+  RuleSet RS(Label::NS);
+  Rule R;
+  R.Conclusion = Label::LS;
+  R.Conditions.push_back({FeatLoad, false, 1.0 / 3.0});
+  R.Conditions.push_back({FeatStore, true, 0.1 + 0.2});
+  RS.addRule(R);
+  std::stringstream SS;
+  writeRuleSet(RS, SS);
+  std::optional<RuleSet> Back = readRuleSet(SS);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->rules()[0].Conditions[0].Threshold, 1.0 / 3.0);
+  EXPECT_EQ(Back->rules()[0].Conditions[1].Threshold, 0.1 + 0.2);
+}
+
+TEST(Serialization, EmptyAntecedentRoundTrips) {
+  RuleSet RS(Label::NS);
+  Rule R;
+  R.Conclusion = Label::LS; // matches everything
+  RS.addRule(R);
+  std::stringstream SS;
+  writeRuleSet(RS, SS);
+  std::optional<RuleSet> Back = readRuleSet(SS);
+  ASSERT_TRUE(Back.has_value());
+  ASSERT_EQ(Back->size(), 1u);
+  EXPECT_TRUE(Back->rules()[0].Conditions.empty());
+}
+
+TEST(Serialization, EmptyRuleSetRoundTrips) {
+  RuleSet RS(Label::LS);
+  std::stringstream SS;
+  writeRuleSet(RS, SS);
+  std::optional<RuleSet> Back = readRuleSet(SS);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->size(), 0u);
+  EXPECT_EQ(Back->getDefaultClass(), Label::LS);
+}
+
+TEST(Serialization, CommentsAndBlankLinesIgnored) {
+  std::stringstream SS("schedfilter-rules v1\n"
+                       "default NS\n"
+                       "\n"
+                       "# hand-tuned afterwards\n"
+                       "rule LS :- bbLen >= 7\n");
+  std::optional<RuleSet> RS = readRuleSet(SS);
+  ASSERT_TRUE(RS.has_value());
+  EXPECT_EQ(RS->size(), 1u);
+}
+
+TEST(Serialization, RejectsBadHeader) {
+  std::stringstream SS("wrong v9\ndefault NS\n");
+  EXPECT_FALSE(readRuleSet(SS).has_value());
+}
+
+TEST(Serialization, RejectsUnknownFeature) {
+  std::stringstream SS("schedfilter-rules v1\n"
+                       "default NS\n"
+                       "rule LS :- frobs >= 7\n");
+  EXPECT_FALSE(readRuleSet(SS).has_value());
+}
+
+TEST(Serialization, RejectsBadOperatorOrValue) {
+  std::stringstream A("schedfilter-rules v1\ndefault NS\n"
+                      "rule LS :- bbLen == 7\n");
+  EXPECT_FALSE(readRuleSet(A).has_value());
+  std::stringstream B("schedfilter-rules v1\ndefault NS\n"
+                      "rule LS :- bbLen >= seven\n");
+  EXPECT_FALSE(readRuleSet(B).has_value());
+}
+
+TEST(Serialization, RejectsBadLabel) {
+  std::stringstream SS("schedfilter-rules v1\ndefault MAYBE\n");
+  EXPECT_FALSE(readRuleSet(SS).has_value());
+}
+
+TEST(Serialization, FeatureNameLookup) {
+  EXPECT_EQ(findFeatureByName("bbLen"), static_cast<unsigned>(FeatBBLen));
+  EXPECT_EQ(findFeatureByName("loads"), static_cast<unsigned>(FeatLoad));
+  EXPECT_EQ(findFeatureByName("nothing"),
+            static_cast<unsigned>(NumFeatures));
+}
+
+TEST(Serialization, TrainedFilterSurvivesRoundTrip) {
+  // End-to-end: a real RIPPER filter serialized and reloaded must make
+  // identical predictions.
+  Dataset D("rt");
+  Rng R(12);
+  for (int I = 0; I != 600; ++I) {
+    FeatureVector X{};
+    X[FeatBBLen] = R.range(1, 20);
+    X[FeatLoad] = R.uniform();
+    X[FeatFloat] = R.uniform();
+    bool Pos = X[FeatBBLen] >= 8 && X[FeatLoad] >= 0.3;
+    D.add({X, Pos ? Label::LS : Label::NS});
+  }
+  RuleSet RS = Ripper().train(D);
+  std::stringstream SS;
+  writeRuleSet(RS, SS);
+  std::optional<RuleSet> Back = readRuleSet(SS);
+  ASSERT_TRUE(Back.has_value());
+  for (const Instance &I : D)
+    EXPECT_EQ(RS.predict(I.X), Back->predict(I.X));
+}

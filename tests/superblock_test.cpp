@@ -1,0 +1,169 @@
+//===- tests/superblock_test.cpp - sched/Superblock unit tests ----------------===//
+
+#include "sched/Superblock.h"
+
+#include "TestHelpers.h"
+#include "sched/ScheduleVerifier.h"
+#include "sim/BlockSimulator.h"
+#include "workloads/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace schedfilter;
+using namespace schedfilter::test;
+
+namespace {
+
+/// A two-block method whose blocks have equal hotness (chains) and
+/// complementary content: block 1's float loads can speculate above
+/// block 0's side exit.
+Method makeHotPathMethod() {
+  Method M("hotpath");
+  BasicBlock B0("b0", 1000);
+  B0.append(Instruction(Opcode::LoadInt, {100}, {0}));
+  B0.append(Instruction(Opcode::Add, {101}, {100, 1}));
+  B0.append(Instruction(Opcode::Cmp, {102}, {101, 2}));
+  B0.append(Instruction(Opcode::BrCond, {}, {102}));
+  M.addBlock(std::move(B0));
+  BasicBlock B1("b1", 950);
+  B1.append(Instruction(Opcode::LoadFloat, {100}, {3}));
+  B1.append(Instruction(Opcode::FMul, {101}, {100, 100}));
+  B1.append(Instruction(Opcode::StoreFloat, {}, {101, 4}));
+  B1.append(Instruction(Opcode::Ret, {}, {}));
+  M.addBlock(std::move(B1));
+  return M;
+}
+
+} // namespace
+
+TEST(Superblock, FormsChainOnBalancedProfile) {
+  Method M = makeHotPathMethod();
+  std::vector<BasicBlock> Sbs = formSuperblocks(M);
+  ASSERT_EQ(Sbs.size(), 1u);
+  EXPECT_EQ(Sbs[0].size(), 8u);
+  EXPECT_EQ(Sbs[0].getExecCount(), 1000u);
+}
+
+TEST(Superblock, ColdSuccessorBreaksTheChain) {
+  Method M = makeHotPathMethod();
+  M[1].setExecCount(10); // side exit almost always taken
+  std::vector<BasicBlock> Sbs = formSuperblocks(M);
+  EXPECT_EQ(Sbs.size(), 2u);
+}
+
+TEST(Superblock, ReturnsEndTraces) {
+  Method M("rets");
+  BasicBlock B0("b0", 100);
+  B0.append(Instruction(Opcode::Add, {100}, {0, 1}));
+  B0.append(Instruction(Opcode::Ret, {}, {}));
+  M.addBlock(std::move(B0));
+  BasicBlock B1("b1", 100);
+  B1.append(Instruction(Opcode::Add, {100}, {0, 1}));
+  B1.append(Instruction(Opcode::Br, {}, {}));
+  M.addBlock(std::move(B1));
+  EXPECT_EQ(formSuperblocks(M).size(), 2u);
+}
+
+TEST(Superblock, RenamingAvoidsFalseDependences) {
+  Method M = makeHotPathMethod();
+  std::vector<BasicBlock> Sbs = formSuperblocks(M);
+  ASSERT_EQ(Sbs.size(), 1u);
+  const BasicBlock &SB = Sbs[0];
+  // Both blocks defined r100; after renaming the second block's defs are
+  // offset, so no WAW edge is manufactured between them.
+  EXPECT_NE(SB[0].defs()[0], SB[4].defs()[0]);
+  // Live-ins (< 64) keep their numbers.
+  EXPECT_EQ(SB[0].uses()[0], 0);
+  EXPECT_EQ(SB[4].uses()[0], 3);
+}
+
+TEST(Superblock, MaxBlocksRespected) {
+  Method M("long");
+  for (int B = 0; B != 12; ++B) {
+    BasicBlock BB("b" + std::to_string(B), 100);
+    BB.append(Instruction(Opcode::Add, {100}, {0, 1}));
+    BB.append(Instruction(Opcode::BrCond, {}, {100}));
+    M.addBlock(std::move(BB));
+  }
+  SuperblockOptions Opts;
+  Opts.MaxBlocks = 4;
+  std::vector<BasicBlock> Sbs = formSuperblocks(M, Opts);
+  EXPECT_EQ(Sbs.size(), 3u);
+  for (const BasicBlock &SB : Sbs)
+    EXPECT_EQ(SB.size(), 8u);
+}
+
+TEST(Superblock, SpeculationHoistsAcrossSideExit) {
+  MachineModel Model = MachineModel::ppc7410();
+  Method M = makeHotPathMethod();
+  std::vector<BasicBlock> Sbs = formSuperblocks(M);
+  ASSERT_EQ(Sbs.size(), 1u);
+  ScheduleResult SR = scheduleSuperblock(Sbs[0], Model);
+
+  // The float load (position 4, non-PEI) should hoist above the side exit
+  // (position 3) into block 0's load-latency shadow.
+  std::vector<int> Pos(Sbs[0].size());
+  for (size_t P = 0; P != SR.Order.size(); ++P)
+    Pos[static_cast<size_t>(SR.Order[P])] = static_cast<int>(P);
+  EXPECT_LT(Pos[4], Pos[3]) << "float load should speculate above bc";
+  // The store (position 6) must NOT move above the side exit.
+  EXPECT_GT(Pos[6], Pos[3]);
+}
+
+TEST(Superblock, SuperblockScheduleBeatsLocalOnHotPath) {
+  MachineModel Model = MachineModel::ppc7410();
+  BlockSimulator Sim(Model);
+  ListScheduler Local(Model);
+  Method M = makeHotPathMethod();
+
+  // Local scheduling: each block alone, costs summed.
+  uint64_t LocalCycles = 0;
+  for (const BasicBlock &BB : M)
+    LocalCycles += Sim.simulate(BB, Local.schedule(BB).Order);
+
+  // Superblock scheduling of the merged trace.
+  std::vector<BasicBlock> Sbs = formSuperblocks(M);
+  ASSERT_EQ(Sbs.size(), 1u);
+  uint64_t SuperCycles =
+      Sim.simulate(Sbs[0], scheduleSuperblock(Sbs[0], Model).Order);
+  EXPECT_LT(SuperCycles, LocalCycles);
+}
+
+TEST(Superblock, SchedulesAreLegalUnderSuperblockDag) {
+  MachineModel Model = MachineModel::ppc7410();
+  const BenchmarkSpec *Spec = findBenchmarkSpec("power");
+  BenchmarkSpec S = *Spec;
+  S.NumMethods = 12;
+  Program P = ProgramGenerator(S).generate();
+  for (const Method &M : P)
+    for (const BasicBlock &SB : formSuperblocks(M)) {
+      DependenceGraph Dag(SB, Model, /*SuperblockMode=*/true);
+      ScheduleResult SR = scheduleSuperblock(SB, Model);
+      ScheduleVerifyResult V = verifySchedule(Dag, SR.Order);
+      EXPECT_TRUE(V.Ok) << V.Message;
+    }
+}
+
+TEST(Superblock, EveryInstructionAppearsExactlyOnce) {
+  const BenchmarkSpec *Spec = findBenchmarkSpec("compress");
+  BenchmarkSpec S = *Spec;
+  S.NumMethods = 10;
+  Program P = ProgramGenerator(S).generate();
+  for (const Method &M : P) {
+    size_t SbInsts = 0;
+    for (const BasicBlock &SB : formSuperblocks(M))
+      SbInsts += SB.size();
+    EXPECT_EQ(SbInsts, M.totalInstructions());
+  }
+}
+
+TEST(Superblock, SideExitDagStillForbidsDownwardMotion) {
+  MachineModel Model = MachineModel::ppc7410();
+  Method M = makeHotPathMethod();
+  std::vector<BasicBlock> Sbs = formSuperblocks(M);
+  DependenceGraph Dag(Sbs[0], Model, /*SuperblockMode=*/true);
+  // Every instruction before the side exit (index 3) must have an edge to
+  // it.
+  for (int I = 0; I != 3; ++I)
+    EXPECT_TRUE(Dag.hasEdge(I, 3));
+}

@@ -1,0 +1,198 @@
+//===- tests/support_test.cpp - support/ unit tests -------------------------===//
+
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace schedfilter;
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next64(), B.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next32() == B.next32();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(13), 13u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(7);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int V = R.range(3, 6);
+    EXPECT_GE(V, 3);
+    EXPECT_LE(V, 6);
+    SawLo |= V == 3;
+    SawHi |= V == 6;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng R(9);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng R(11);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_FALSE(R.chance(0.0));
+    EXPECT_TRUE(R.chance(1.0));
+  }
+}
+
+TEST(Rng, GeometricAtLeastOne) {
+  Rng R(13);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_GE(R.geometric(0.3), 1);
+}
+
+TEST(Rng, GeometricMeanRoughlyInverseP) {
+  Rng R(17);
+  double Sum = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Sum += R.geometric(0.25);
+  EXPECT_NEAR(Sum / N, 4.0, 0.2);
+}
+
+TEST(Rng, PickWeightedRespectsZeroWeight) {
+  Rng R(19);
+  std::vector<double> W = {0.0, 1.0, 0.0};
+  for (int I = 0; I < 200; ++I)
+    EXPECT_EQ(R.pickWeighted(W), 1u);
+}
+
+TEST(Rng, PickWeightedProportions) {
+  Rng R(23);
+  std::vector<double> W = {1.0, 3.0};
+  int Count1 = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Count1 += R.pickWeighted(W) == 1;
+  EXPECT_NEAR(static_cast<double>(Count1) / N, 0.75, 0.02);
+}
+
+TEST(Rng, ZipfRankOneMostLikely) {
+  Rng R(29);
+  std::vector<int> Counts(11, 0);
+  for (int I = 0; I < 20000; ++I)
+    ++Counts[static_cast<size_t>(R.zipf(10, 1.2))];
+  EXPECT_GT(Counts[1], Counts[2]);
+  EXPECT_GT(Counts[2], Counts[5]);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng A(31);
+  Rng B = A.split();
+  Rng C = A.split();
+  EXPECT_NE(B.next64(), C.next64());
+}
+
+TEST(Statistics, MeanAndMedian) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Statistics, GeometricMeanBasics) {
+  EXPECT_NEAR(geometricMean({2, 8}), 4.0, 1e-9);
+  EXPECT_NEAR(geometricMean({5}), 5.0, 1e-9);
+}
+
+TEST(Statistics, GeometricMeanClampsZeros) {
+  // A single 0 must not zero out the whole mean (Table 3 has exact zeros).
+  double G = geometricMean({0.0, 1.0, 1.0});
+  EXPECT_GT(G, 0.0);
+  EXPECT_LT(G, 1.0);
+}
+
+TEST(Statistics, SampleStddev) {
+  EXPECT_DOUBLE_EQ(sampleStddev({2, 2, 2}), 0.0);
+  EXPECT_NEAR(sampleStddev({1, 2, 3}), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(sampleStddev({1}), 0.0);
+}
+
+TEST(Statistics, SafeRatio) {
+  EXPECT_DOUBLE_EQ(safeRatio(6, 3), 2.0);
+  EXPECT_DOUBLE_EQ(safeRatio(6, 0, -1.0), -1.0);
+}
+
+TEST(StringUtils, FormatDouble) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(StringUtils, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcd", 2), "abcd");
+}
+
+TEST(StringUtils, FormatPercent) {
+  EXPECT_EQ(formatPercent(0.379, 1), "37.9%");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter T({"a", "long-header"});
+  T.addRow({"xxxx", "1"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("long-header"), std::string::npos);
+  EXPECT_NE(Out.find("xxxx"), std::string::npos);
+  EXPECT_EQ(T.numRows(), 1u);
+}
+
+TEST(TablePrinter, CsvRoundTripShape) {
+  TablePrinter T({"x", "y"});
+  T.addRow({"1", "2"});
+  T.addRow({"3", "4"});
+  std::ostringstream OS;
+  T.printCsv(OS);
+  EXPECT_EQ(OS.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TablePrinter, ShortRowsPadded) {
+  TablePrinter T({"x", "y"});
+  T.addRow({"only"});
+  std::ostringstream OS;
+  T.printCsv(OS);
+  EXPECT_EQ(OS.str(), "x,y\nonly,\n");
+}
+
+TEST(Timer, AccumulatesAcrossIntervals) {
+  AccumulatingTimer T;
+  T.start();
+  T.stop();
+  int64_t First = T.nanoseconds();
+  T.start();
+  T.stop();
+  EXPECT_GE(T.nanoseconds(), First);
+  T.reset();
+  EXPECT_EQ(T.nanoseconds(), 0);
+}

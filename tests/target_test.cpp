@@ -1,0 +1,88 @@
+//===- tests/target_test.cpp - target/ unit tests ---------------------------===//
+
+#include "target/MachineModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace schedfilter;
+
+TEST(MachineModel, Ppc7410UnitInventory) {
+  MachineModel M = MachineModel::ppc7410();
+  // 2 integer + FPU + LSU + BPU + SU.
+  EXPECT_EQ(M.getNumUnits(), 6u);
+  EXPECT_EQ(M.getName(), "ppc7410");
+}
+
+TEST(MachineModel, DissimilarIntegerUnits) {
+  MachineModel M = MachineModel::ppc7410();
+  // Simple integer ops can go on either integer unit; complex ones (mul,
+  // div) only on the second.
+  EXPECT_EQ(M.unitsFor(FuClass::IntSimple).size(), 2u);
+  EXPECT_EQ(M.unitsFor(FuClass::IntComplex).size(), 1u);
+}
+
+TEST(MachineModel, SingleUnitClasses) {
+  MachineModel M = MachineModel::ppc7410();
+  EXPECT_EQ(M.unitsFor(FuClass::Float).size(), 1u);
+  EXPECT_EQ(M.unitsFor(FuClass::LoadStore).size(), 1u);
+  EXPECT_EQ(M.unitsFor(FuClass::Branch).size(), 1u);
+  EXPECT_EQ(M.unitsFor(FuClass::System).size(), 1u);
+}
+
+TEST(MachineModel, IssueRules) {
+  MachineModel M = MachineModel::ppc7410();
+  // "One branch and two non-branch instructions per cycle."
+  EXPECT_EQ(M.getMaxIssueNonBranch(), 2u);
+  EXPECT_EQ(M.getMaxIssueBranch(), 1u);
+}
+
+TEST(MachineModel, LatenciesAtLeastOne) {
+  MachineModel M = MachineModel::ppc7410();
+  for (unsigned I = 0; I != getNumOpcodes(); ++I)
+    EXPECT_GE(M.getLatency(static_cast<Opcode>(I)), 1u)
+        << getOpcodeName(static_cast<Opcode>(I));
+}
+
+TEST(MachineModel, LatencyOrdering) {
+  MachineModel M = MachineModel::ppc7410();
+  // "Instructions take from one to many tens of cycles."
+  EXPECT_EQ(M.getLatency(Opcode::Add), 1u);
+  EXPECT_GT(M.getLatency(Opcode::FAdd), M.getLatency(Opcode::Add));
+  EXPECT_GT(M.getLatency(Opcode::LoadInt), M.getLatency(Opcode::Add));
+  EXPECT_GT(M.getLatency(Opcode::Div), M.getLatency(Opcode::Mul));
+  EXPECT_GE(M.getLatency(Opcode::FDiv), 20u);
+  EXPECT_GE(M.getLatency(Opcode::FSqrt), 20u);
+}
+
+TEST(MachineModel, BlockingOpsNotPipelined) {
+  MachineModel M = MachineModel::ppc7410();
+  EXPECT_FALSE(M.isPipelined(Opcode::Div));
+  EXPECT_FALSE(M.isPipelined(Opcode::FDiv));
+  EXPECT_FALSE(M.isPipelined(Opcode::FSqrt));
+  EXPECT_TRUE(M.isPipelined(Opcode::FAdd));
+  EXPECT_TRUE(M.isPipelined(Opcode::LoadInt));
+}
+
+TEST(MachineModel, SetLatencyOverrides) {
+  MachineModel M = MachineModel::ppc7410();
+  M.setLatency(Opcode::Add, 9);
+  EXPECT_EQ(M.getLatency(Opcode::Add), 9u);
+}
+
+TEST(MachineModel, UnitAcceptMasks) {
+  MachineModel M = MachineModel::ppc7410();
+  for (FuClass C : {FuClass::IntSimple, FuClass::IntComplex, FuClass::Float,
+                    FuClass::LoadStore, FuClass::Branch, FuClass::System})
+    for (unsigned U : M.unitsFor(C))
+      EXPECT_TRUE(M.units()[U].accepts(C));
+}
+
+TEST(MachineModel, SimpleScalarSingleIssue) {
+  MachineModel M = MachineModel::simpleScalar();
+  EXPECT_EQ(M.getNumUnits(), 1u);
+  EXPECT_EQ(M.getMaxIssueNonBranch(), 1u);
+  // The universal unit executes every class.
+  for (FuClass C : {FuClass::IntSimple, FuClass::IntComplex, FuClass::Float,
+                    FuClass::LoadStore, FuClass::Branch, FuClass::System})
+    EXPECT_EQ(M.unitsFor(C).size(), 1u);
+}

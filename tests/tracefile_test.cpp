@@ -1,0 +1,96 @@
+//===- tests/tracefile_test.cpp - harness/TraceFile unit tests ----------------===//
+
+#include "harness/TraceFile.h"
+
+#include "TestHelpers.h"
+#include "harness/Experiments.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace schedfilter;
+using namespace schedfilter::test;
+
+TEST(TraceFile, RoundTripEmpty) {
+  std::stringstream SS;
+  writeTrace({}, SS);
+  std::optional<std::vector<BlockRecord>> Back = readTrace(SS);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_TRUE(Back->empty());
+}
+
+TEST(TraceFile, RoundTripPreservesEverything) {
+  std::vector<BlockRecord> Records;
+  BlockRecord R;
+  R.X[FeatBBLen] = 9;
+  R.X[FeatLoad] = 0.333;
+  R.CostNoSched = 42;
+  R.CostSched = 30;
+  R.ExecCount = 123456;
+  Records.push_back(R);
+  R.X[FeatBBLen] = 2;
+  R.CostNoSched = 5;
+  R.CostSched = 5;
+  R.ExecCount = 1;
+  Records.push_back(R);
+
+  std::stringstream SS;
+  writeTrace(Records, SS);
+  std::optional<std::vector<BlockRecord>> Back = readTrace(SS);
+  ASSERT_TRUE(Back.has_value());
+  ASSERT_EQ(Back->size(), 2u);
+  EXPECT_EQ((*Back)[0].X[FeatBBLen], 9.0);
+  EXPECT_EQ((*Back)[0].X[FeatLoad], 0.333);
+  EXPECT_EQ((*Back)[0].CostNoSched, 42u);
+  EXPECT_EQ((*Back)[0].CostSched, 30u);
+  EXPECT_EQ((*Back)[0].ExecCount, 123456u);
+  EXPECT_EQ((*Back)[1].CostNoSched, 5u);
+}
+
+TEST(TraceFile, RejectsWrongHeader) {
+  std::stringstream SS("foo,bar\n1,2\n");
+  EXPECT_FALSE(readTrace(SS).has_value());
+}
+
+TEST(TraceFile, RejectsShortRows) {
+  std::vector<BlockRecord> Records(1);
+  std::stringstream SS;
+  writeTrace(Records, SS);
+  std::string Text = SS.str();
+  Text = Text.substr(0, Text.rfind(',')); // truncate the last column
+  std::stringstream Bad(Text);
+  EXPECT_FALSE(readTrace(Bad).has_value());
+}
+
+TEST(TraceFile, RejectsNonNumericCell) {
+  std::vector<BlockRecord> Records(1);
+  std::stringstream SS;
+  writeTrace(Records, SS);
+  std::string Text = SS.str();
+  Text.replace(Text.rfind('0'), 1, "x");
+  std::stringstream Bad(Text);
+  EXPECT_FALSE(readTrace(Bad).has_value());
+}
+
+TEST(TraceFile, RealTraceRoundTripsAndLabelsIdentically) {
+  MachineModel Model = MachineModel::ppc7410();
+  std::vector<BenchmarkRun> Runs =
+      generateSuiteData(shrinkSuite({*findBenchmarkSpec("db")}, 5), Model);
+  const std::vector<BlockRecord> &Records = Runs[0].Records;
+
+  std::stringstream SS;
+  writeTrace(Records, SS);
+  std::optional<std::vector<BlockRecord>> Back = readTrace(SS);
+  ASSERT_TRUE(Back.has_value());
+  ASSERT_EQ(Back->size(), Records.size());
+
+  // Labeling the reloaded trace must agree at every threshold.
+  for (double T : {0.0, 20.0, 45.0}) {
+    Dataset A = buildDataset(Records, T, "a");
+    Dataset B = buildDataset(*Back, T, "b");
+    ASSERT_EQ(A.size(), B.size());
+    for (size_t I = 0; I != A.size(); ++I)
+      EXPECT_EQ(A[I].Y, B[I].Y);
+  }
+}

@@ -1,0 +1,75 @@
+//===- tools/sf-report.cpp - One-shot reproduction report -------------------===//
+//
+// Runs the paper's whole evaluation in one command and prints every table
+// and figure in order (Tables 3-6, Figures 1-4), plus the headline
+// benefit/effort frontier, for the chosen suite.  This is the "regenerate
+// the paper" button; the per-table bench binaries exist for focused runs.
+//
+// Usage:
+//   sf-report [--suite specjvm98|fp] [--model ppc7410|ppc970]
+//             [--fig4-holdout NAME]
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiments.h"
+#include "harness/TableRender.h"
+#include "ml/Ripper.h"
+#include "support/CommandLine.h"
+
+#include <iostream>
+
+using namespace schedfilter;
+
+int main(int argc, char **argv) {
+  CommandLine CL(argc, argv);
+  std::string SuiteName = CL.get("suite", "specjvm98");
+  std::vector<BenchmarkSpec> Suite;
+  if (SuiteName == "specjvm98")
+    Suite = specjvm98Suite();
+  else if (SuiteName == "fp")
+    Suite = fpSuite();
+  else {
+    std::cerr << "error: unknown suite '" << SuiteName
+              << "' (specjvm98 or fp)\n";
+    return 1;
+  }
+
+  std::string ModelName = CL.get("model", "ppc7410");
+  MachineModel Model = ModelName == "ppc970" ? MachineModel::ppc970()
+                                             : MachineModel::ppc7410();
+
+  std::cerr << "tracing " << Suite.size() << " benchmarks on "
+            << Model.getName() << "...\n";
+  std::vector<BenchmarkRun> Runs = generateSuiteData(Suite, Model);
+  std::cerr << "running the threshold sweep (11 x LOOCV RIPPER)...\n";
+  std::vector<ThresholdResult> Sweep =
+      runThresholdSweep(Runs, paperThresholds(), ripperLearner());
+
+  renderTable3(Sweep, std::cout);
+  std::cout << '\n';
+  renderTable4(Sweep, std::cout);
+  std::cout << '\n';
+  renderTable5(Sweep, std::cout);
+  std::cout << '\n';
+  renderTable6(Sweep, std::cout);
+  std::cout << '\n';
+  renderEffortFigure(Sweep, /*UseWallTime=*/false, std::cout);
+  std::cout << '\n';
+  renderEffortFigure(Sweep, /*UseWallTime=*/true, std::cout);
+  std::cout << '\n';
+  renderAppTimeFigure(Sweep, std::cout);
+  std::cout << '\n';
+  renderHeadline(Sweep, std::cout);
+  std::cout << '\n';
+
+  // Figure 4: train on all but one benchmark at t = 0.
+  std::string Holdout = CL.get("fig4-holdout", Suite.back().Name);
+  std::vector<Dataset> Labeled = labelSuite(Runs, 0.0);
+  Dataset Train("all-minus-" + Holdout);
+  for (const Dataset &D : Labeled)
+    if (D.getName() != Holdout)
+      Train.append(D);
+  RuleSet Filter = Ripper().train(Train);
+  renderInducedFilter(Filter, std::cout);
+  return 0;
+}

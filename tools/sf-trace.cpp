@@ -1,0 +1,75 @@
+//===- tools/sf-trace.cpp - Emit an instrumented-scheduler trace ------------===//
+//
+// Generates one benchmark's program, runs the instrumented scheduler over
+// every block (§2.2), and writes the raw trace as CSV: per block, the
+// Table 1 features, the simulated cost without and with list scheduling,
+// and the profile weight.  The trace feeds sf-train.
+//
+// Usage:
+//   sf-trace --benchmark mpegaudio [--model ppc7410|ppc970] [--out FILE]
+//   sf-trace --list
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiments.h"
+#include "harness/TraceFile.h"
+#include "support/CommandLine.h"
+
+#include <fstream>
+#include <iostream>
+
+using namespace schedfilter;
+
+static int usage() {
+  std::cerr << "usage: sf-trace --benchmark NAME [--model ppc7410|ppc970]"
+               " [--out FILE]\n"
+               "       sf-trace --list\n";
+  return 1;
+}
+
+int main(int argc, char **argv) {
+  CommandLine CL(argc, argv);
+
+  if (CL.has("list")) {
+    for (const auto &Suite : {specjvm98Suite(), fpSuite()})
+      for (const BenchmarkSpec &S : Suite)
+        std::cout << S.Name << "\t" << S.Description << '\n';
+    return 0;
+  }
+
+  std::string Name = CL.get("benchmark");
+  if (Name.empty())
+    return usage();
+  const BenchmarkSpec *Spec = findBenchmarkSpec(Name);
+  if (!Spec) {
+    std::cerr << "error: unknown benchmark '" << Name
+              << "' (try --list)\n";
+    return 1;
+  }
+
+  std::string ModelName = CL.get("model", "ppc7410");
+  MachineModel Model = ModelName == "ppc970" ? MachineModel::ppc970()
+                                             : MachineModel::ppc7410();
+  if (ModelName != "ppc7410" && ModelName != "ppc970") {
+    std::cerr << "error: unknown model '" << ModelName << "'\n";
+    return 1;
+  }
+
+  std::vector<BenchmarkRun> Runs = generateSuiteData({*Spec}, Model);
+  const std::vector<BlockRecord> &Records = Runs[0].Records;
+
+  std::string Out = CL.get("out");
+  if (Out.empty()) {
+    writeTrace(Records, std::cout);
+  } else {
+    std::ofstream OS(Out);
+    if (!OS) {
+      std::cerr << "error: cannot open '" << Out << "' for writing\n";
+      return 1;
+    }
+    writeTrace(Records, OS);
+    std::cerr << "wrote " << Records.size() << " block records to " << Out
+              << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- tools/sf-train.cpp - Induce a filter from traces ---------------------===//
+//
+// Labels one or more traces (written by sf-trace) at a threshold, trains
+// a learner, prints the induced filter with coverage counts, and
+// optionally serializes it for installation in the compiler -- the
+// paper's offline "at the factory" procedure end to end.
+//
+// Usage:
+//   sf-train TRACE.csv [TRACE2.csv ...] [--threshold T]
+//            [--learner ripper|tree|oner|stump] [--out RULES.txt]
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/TraceFile.h"
+#include "ml/Baselines.h"
+#include "ml/DecisionTree.h"
+#include "ml/Metrics.h"
+#include "ml/Ripper.h"
+#include "ml/Serialization.h"
+#include "support/CommandLine.h"
+
+#include <fstream>
+#include <iostream>
+
+using namespace schedfilter;
+
+static int usage() {
+  std::cerr << "usage: sf-train TRACE.csv [TRACE2.csv ...] [--threshold T]\n"
+               "                [--learner ripper|tree|oner|stump]"
+               " [--out RULES.txt]\n";
+  return 1;
+}
+
+int main(int argc, char **argv) {
+  CommandLine CL(argc, argv);
+  if (CL.positional().empty())
+    return usage();
+
+  double Threshold = CL.getDouble("threshold", 0.0);
+  std::string LearnerName = CL.get("learner", "ripper");
+
+  Dataset Train("train");
+  size_t TotalBlocks = 0;
+  for (const std::string &Path : CL.positional()) {
+    std::ifstream IS(Path);
+    if (!IS) {
+      std::cerr << "error: cannot open trace '" << Path << "'\n";
+      return 1;
+    }
+    std::optional<std::vector<BlockRecord>> Records = readTrace(IS);
+    if (!Records) {
+      std::cerr << "error: malformed trace '" << Path << "'\n";
+      return 1;
+    }
+    TotalBlocks += Records->size();
+    Train.append(buildDataset(*Records, Threshold, Path));
+  }
+
+  std::cerr << "labeled " << Train.size() << " of " << TotalBlocks
+            << " blocks at t = " << Threshold << " ("
+            << Train.countLabel(Label::LS) << " LS, "
+            << Train.countLabel(Label::NS) << " NS)\n";
+
+  RuleSet Filter(Label::NS);
+  if (LearnerName == "ripper")
+    Filter = Ripper().train(Train);
+  else if (LearnerName == "tree")
+    Filter = learnDecisionTreeRules(Train);
+  else if (LearnerName == "oner")
+    Filter = learnOneR(Train);
+  else if (LearnerName == "stump")
+    Filter = learnSizeStump(Train);
+  else {
+    std::cerr << "error: unknown learner '" << LearnerName << "'\n";
+    return usage();
+  }
+
+  std::cerr << "training error "
+            << errorRatePercent(Filter, Train) << "%\n\n";
+  std::cout << Filter.toString();
+
+  std::string Out = CL.get("out");
+  if (!Out.empty()) {
+    std::ofstream OS(Out);
+    if (!OS) {
+      std::cerr << "error: cannot open '" << Out << "' for writing\n";
+      return 1;
+    }
+    writeRuleSet(Filter, OS);
+    std::cerr << "\nwrote filter to " << Out << '\n';
+  }
+  return 0;
+}
