@@ -1,0 +1,305 @@
+//===- target/MachineModel.cpp - Target machine timing models -------------===//
+
+#include "target/MachineModel.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace schedfilter;
+
+// Every factory below must assign a latency to every opcode.  If you add
+// an opcode to mir/Opcode.h, this assert fires until you extend each
+// model's latencyFor() switch; finalize() additionally aborts at model
+// construction if any opcode would end up with latency 0.
+static_assert(getNumOpcodes() == 42,
+              "Opcode enum changed: update every machine model's "
+              "latencyFor() table in target/MachineModel.cpp");
+
+namespace schedfilter {
+struct LatSpec {
+  unsigned Cycles;
+  bool Pipelined;
+};
+} // namespace schedfilter
+
+namespace {
+
+constexpr LatSpec P(unsigned Cycles) { return {Cycles, true}; }
+constexpr LatSpec Blocking(unsigned Cycles) { return {Cycles, false}; }
+
+/// MPC7410 (G4) timings.  Simple ALU ops are single-cycle; loads hit the
+/// L1 in 3 cycles; stores retire in 1; FP arithmetic is a 3-cycle
+/// pipeline; integer and FP divides and square root block their unit for
+/// tens of cycles.
+LatSpec g4LatencyFor(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Cmp:
+  case Opcode::AddImm:
+  case Opcode::LoadConst:
+  case Opcode::Move:
+    return P(1);
+  case Opcode::Mul:
+    return P(4);
+  case Opcode::Div:
+    return Blocking(19);
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FMAdd:
+  case Opcode::FCmp:
+  case Opcode::FNeg:
+  case Opcode::FMove:
+    return P(3);
+  case Opcode::FDiv:
+    return Blocking(31);
+  case Opcode::FSqrt:
+    return Blocking(35);
+  case Opcode::LoadInt:
+  case Opcode::LoadRef:
+    return P(3);
+  case Opcode::LoadFloat:
+    return P(5); // FPR loads pay extra cycles through the LSU
+  case Opcode::StoreInt:
+  case Opcode::StoreRef:
+    return P(1);
+  case Opcode::StoreFloat:
+    return P(2); // FPR-to-LSU handoff
+  case Opcode::Br:
+  case Opcode::BrCond:
+  case Opcode::Ret:
+    return P(1);
+  case Opcode::Call:
+    // The call itself is a single dispatch cycle; the callee's cost is
+    // accounted elsewhere (and the call is a scheduling barrier anyway).
+    return P(1);
+  case Opcode::CallVirtual:
+    return P(8); // dispatch chain: table load + indirect branch
+  case Opcode::SysRegRead:
+    return P(3);
+  case Opcode::SysRegWrite:
+    return P(2);
+  case Opcode::MemBar:
+    return Blocking(8);
+  case Opcode::Trap:
+    return P(2);
+  case Opcode::NullCheck:
+  case Opcode::BoundsCheck:
+  case Opcode::GcSafepoint:
+  case Opcode::YieldPoint:
+  case Opcode::ThreadSwitchPoint:
+    return P(1);
+  case Opcode::NumOpcodes:
+    break;
+  }
+  return {0, true}; // caught by finalize()
+}
+
+/// PowerPC 970 (G5) timings: deeper pipelines than the G4 -- FP
+/// arithmetic is a 6-cycle pipeline, loads take 5 cycles to the FPRs --
+/// in exchange for the wider issue the unit inventory provides.
+LatSpec g5LatencyFor(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Cmp:
+  case Opcode::AddImm:
+  case Opcode::LoadConst:
+  case Opcode::Move:
+    return P(2);
+  case Opcode::Mul:
+    return P(7);
+  case Opcode::Div:
+    return Blocking(68);
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FMAdd:
+  case Opcode::FCmp:
+  case Opcode::FNeg:
+    return P(6);
+  case Opcode::FMove:
+    return P(3);
+  case Opcode::FDiv:
+    return Blocking(33);
+  case Opcode::FSqrt:
+    return Blocking(40);
+  case Opcode::LoadInt:
+  case Opcode::LoadRef:
+    return P(5);
+  case Opcode::LoadFloat:
+    return P(7);
+  case Opcode::StoreInt:
+  case Opcode::StoreRef:
+    return P(1);
+  case Opcode::StoreFloat:
+    return P(2);
+  case Opcode::Br:
+  case Opcode::BrCond:
+  case Opcode::Ret:
+    return P(1);
+  case Opcode::Call:
+    return P(8);
+  case Opcode::CallVirtual:
+    return P(10);
+  case Opcode::SysRegRead:
+    return P(4);
+  case Opcode::SysRegWrite:
+    return P(3);
+  case Opcode::MemBar:
+    return Blocking(10);
+  case Opcode::Trap:
+    return P(2);
+  case Opcode::NullCheck:
+  case Opcode::BoundsCheck:
+  case Opcode::GcSafepoint:
+  case Opcode::YieldPoint:
+  case Opcode::ThreadSwitchPoint:
+    return P(1);
+  case Opcode::NumOpcodes:
+    break;
+  }
+  return {0, true}; // caught by finalize()
+}
+
+constexpr uint16_t maskAll =
+    fuClassBit(FuClass::IntSimple) | fuClassBit(FuClass::IntComplex) |
+    fuClassBit(FuClass::Float) | fuClassBit(FuClass::LoadStore) |
+    fuClassBit(FuClass::Branch) | fuClassBit(FuClass::System);
+
+} // namespace
+
+unsigned MachineModel::addUnit(std::string UnitName, uint16_t AcceptMask) {
+  Units.push_back({std::move(UnitName), AcceptMask});
+  return static_cast<unsigned>(Units.size() - 1);
+}
+
+void MachineModel::setTimings(LatSpec (*TableFn)(Opcode)) {
+  for (unsigned I = 0; I != getNumOpcodes(); ++I) {
+    LatSpec S = TableFn(static_cast<Opcode>(I));
+    Latency[I] = S.Cycles;
+    Pipelined[I] = S.Pipelined;
+  }
+}
+
+void MachineModel::finalize() {
+  for (auto &List : UnitsByClass)
+    List.clear();
+  for (unsigned U = 0; U != getNumUnits(); ++U)
+    for (unsigned C = 0; C != static_cast<unsigned>(FuClass::NumClasses); ++C)
+      if (Units[U].accepts(static_cast<FuClass>(C)))
+        UnitsByClass[C].push_back(U);
+
+  for (unsigned C = 0; C != static_cast<unsigned>(FuClass::NumClasses); ++C) {
+    if (UnitsByClass[C].empty()) {
+      std::fprintf(stderr,
+                   "MachineModel %s: no functional unit for FuClass %u\n",
+                   Name.c_str(), C);
+      std::abort();
+    }
+  }
+
+  for (unsigned I = 0; I != getNumOpcodes(); ++I) {
+    if (Latency[I] == 0) {
+      std::fprintf(stderr,
+                   "MachineModel %s: opcode %s has no latency entry\n",
+                   Name.c_str(), getOpcodeName(static_cast<Opcode>(I)));
+      std::abort();
+    }
+  }
+}
+
+namespace {
+
+struct ModelEntry {
+  const char *Name;
+  MachineModel (*Factory)();
+};
+
+const ModelEntry ModelRegistry[] = {
+    {"ppc7410", &MachineModel::ppc7410},
+    {"ppc970", &MachineModel::ppc970},
+    {"simple-scalar", &MachineModel::simpleScalar},
+};
+
+} // namespace
+
+std::optional<MachineModel> MachineModel::byName(const std::string &Name) {
+  for (const ModelEntry &E : ModelRegistry)
+    if (Name == E.Name)
+      return E.Factory();
+  return std::nullopt;
+}
+
+std::string MachineModel::knownNamesList() {
+  std::string Out;
+  constexpr size_t N = sizeof(ModelRegistry) / sizeof(ModelRegistry[0]);
+  for (size_t I = 0; I != N; ++I) {
+    if (I != 0)
+      Out += I + 1 == N ? " or " : ", ";
+    Out += ModelRegistry[I].Name;
+  }
+  return Out;
+}
+
+MachineModel MachineModel::ppc7410() {
+  // "One branch and two non-branch instructions per cycle."
+  MachineModel M("ppc7410", /*MaxNonBranch=*/2, /*MaxBranch=*/1);
+
+  // Two dissimilar integer units: IU1 runs only simple ALU ops, IU2 also
+  // handles mul/div.  One each of FPU, LSU, BPU and system unit.
+  M.addUnit("IU1", fuClassBit(FuClass::IntSimple));
+  M.addUnit("IU2",
+            fuClassBit(FuClass::IntSimple) | fuClassBit(FuClass::IntComplex));
+  M.addUnit("FPU", fuClassBit(FuClass::Float));
+  M.addUnit("LSU", fuClassBit(FuClass::LoadStore));
+  M.addUnit("BPU", fuClassBit(FuClass::Branch));
+  M.addUnit("SU", fuClassBit(FuClass::System));
+
+  M.setTimings(&g4LatencyFor);
+  M.finalize();
+  return M;
+}
+
+MachineModel MachineModel::ppc970() {
+  // Wider than the G4: up to four non-branch instructions plus a branch
+  // per cycle, fed by duplicated FPUs and LSUs.
+  MachineModel M("ppc970", /*MaxNonBranch=*/4, /*MaxBranch=*/1);
+
+  M.addUnit("IU1", fuClassBit(FuClass::IntSimple));
+  M.addUnit("IU2",
+            fuClassBit(FuClass::IntSimple) | fuClassBit(FuClass::IntComplex));
+  M.addUnit("FPU1", fuClassBit(FuClass::Float));
+  M.addUnit("FPU2", fuClassBit(FuClass::Float));
+  M.addUnit("LSU1", fuClassBit(FuClass::LoadStore));
+  M.addUnit("LSU2", fuClassBit(FuClass::LoadStore));
+  M.addUnit("BPU", fuClassBit(FuClass::Branch));
+  M.addUnit("SU", fuClassBit(FuClass::System));
+
+  M.setTimings(&g5LatencyFor);
+  M.finalize();
+  return M;
+}
+
+MachineModel MachineModel::simpleScalar() {
+  // Single-issue in-order baseline: one universal unit, G4 latencies.
+  // Sharing the G4 latency table keeps it comparable: it differs from the
+  // ppc7410 only in issue width and unit count, so it can never beat the
+  // superscalar model on the same block.
+  MachineModel M("simple-scalar", /*MaxNonBranch=*/1, /*MaxBranch=*/1);
+  M.addUnit("ALU", maskAll);
+  M.setTimings(&g4LatencyFor);
+  M.finalize();
+  return M;
+}

@@ -22,11 +22,9 @@ using namespace schedfilter::test;
 namespace {
 
 MachineModel makeModel(const std::string &Name) {
-  if (Name == "ppc7410")
-    return MachineModel::ppc7410();
-  if (Name == "ppc970")
-    return MachineModel::ppc970();
-  return MachineModel::simpleScalar();
+  std::optional<MachineModel> M = MachineModel::byName(Name);
+  // value() throws (and fails the test cleanly) on an unknown name.
+  return std::move(M).value();
 }
 
 } // namespace

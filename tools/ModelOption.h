@@ -1,0 +1,34 @@
+//===- tools/ModelOption.h - Shared --model option handling -----*- C++ -*-===//
+///
+/// \file
+/// One place for the sf-* tools to resolve the --model flag, so the lookup
+/// and the error message cannot drift between them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_TOOLS_MODELOPTION_H
+#define SCHEDFILTER_TOOLS_MODELOPTION_H
+
+#include "support/CommandLine.h"
+#include "target/MachineModel.h"
+
+#include <iostream>
+#include <optional>
+
+namespace schedfilter {
+
+/// Resolves --model (default ppc7410).  On an unknown name, prints an
+/// error listing the accepted names and returns nullopt; the caller
+/// should exit non-zero.
+inline std::optional<MachineModel> parseModelOption(const CommandLine &CL) {
+  std::string ModelName = CL.get("model", "ppc7410");
+  std::optional<MachineModel> Model = MachineModel::byName(ModelName);
+  if (!Model)
+    std::cerr << "error: unknown model '" << ModelName << "' ("
+              << MachineModel::knownNamesList() << ")\n";
+  return Model;
+}
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_TOOLS_MODELOPTION_H

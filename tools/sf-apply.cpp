@@ -6,13 +6,15 @@
 //
 // Usage:
 //   sf-apply --rules RULES.txt --benchmark mpegaudio
-//            [--model ppc7410|ppc970] [--hot FRACTION]
+//            [--model ppc7410|ppc970|simple-scalar] [--hot FRACTION]
 //
 //===----------------------------------------------------------------------===//
 
 #include "harness/Experiments.h"
 #include "ml/Serialization.h"
 #include "support/CommandLine.h"
+
+#include "ModelOption.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
@@ -24,7 +26,8 @@ using namespace schedfilter;
 
 static int usage() {
   std::cerr << "usage: sf-apply --rules RULES.txt --benchmark NAME\n"
-               "                [--model ppc7410|ppc970] [--hot FRACTION]\n";
+               "                [--model ppc7410|ppc970|simple-scalar]"
+               " [--hot FRACTION]\n";
   return 1;
 }
 
@@ -52,24 +55,24 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  std::string ModelName = CL.get("model", "ppc7410");
-  MachineModel Model = ModelName == "ppc970" ? MachineModel::ppc970()
-                                             : MachineModel::ppc7410();
+  std::optional<MachineModel> Model = parseModelOption(CL);
+  if (!Model)
+    return 1;
   double Hot = CL.getDouble("hot", 1.0);
 
   Program P = ProgramGenerator(*Spec).generate();
   ScheduleFilter Filter(*Rules);
 
-  CompileReport NS = compileProgramAdaptive(P, Model,
+  CompileReport NS = compileProgramAdaptive(P, *Model,
                                             SchedulingPolicy::Never,
                                             nullptr, Hot);
-  CompileReport LS = compileProgramAdaptive(P, Model,
+  CompileReport LS = compileProgramAdaptive(P, *Model,
                                             SchedulingPolicy::Always,
                                             nullptr, Hot);
   CompileReport LN = compileProgramAdaptive(
-      P, Model, SchedulingPolicy::Filtered, &Filter, Hot);
+      P, *Model, SchedulingPolicy::Filtered, &Filter, Hot);
 
-  std::cout << Name << " on " << Model.getName() << " (hot fraction "
+  std::cout << Name << " on " << Model->getName() << " (hot fraction "
             << formatPercent(Hot, 0) << ")\n\n";
   TablePrinter T({"Policy", "Scheduled", "Work units", "Wall (ms)",
                   "App time vs NS"});

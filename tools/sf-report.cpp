@@ -6,7 +6,7 @@
 // the paper" button; the per-table bench binaries exist for focused runs.
 //
 // Usage:
-//   sf-report [--suite specjvm98|fp] [--model ppc7410|ppc970]
+//   sf-report [--suite specjvm98|fp] [--model ppc7410|ppc970|simple-scalar]
 //             [--fig4-holdout NAME]
 //
 //===----------------------------------------------------------------------===//
@@ -15,6 +15,8 @@
 #include "harness/TableRender.h"
 #include "ml/Ripper.h"
 #include "support/CommandLine.h"
+
+#include "ModelOption.h"
 
 #include <iostream>
 
@@ -34,13 +36,13 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  std::string ModelName = CL.get("model", "ppc7410");
-  MachineModel Model = ModelName == "ppc970" ? MachineModel::ppc970()
-                                             : MachineModel::ppc7410();
+  std::optional<MachineModel> Model = parseModelOption(CL);
+  if (!Model)
+    return 1;
 
   std::cerr << "tracing " << Suite.size() << " benchmarks on "
-            << Model.getName() << "...\n";
-  std::vector<BenchmarkRun> Runs = generateSuiteData(Suite, Model);
+            << Model->getName() << "...\n";
+  std::vector<BenchmarkRun> Runs = generateSuiteData(Suite, *Model);
   std::cerr << "running the threshold sweep (11 x LOOCV RIPPER)...\n";
   std::vector<ThresholdResult> Sweep =
       runThresholdSweep(Runs, paperThresholds(), ripperLearner());

@@ -6,7 +6,8 @@
 // and the profile weight.  The trace feeds sf-train.
 //
 // Usage:
-//   sf-trace --benchmark mpegaudio [--model ppc7410|ppc970] [--out FILE]
+//   sf-trace --benchmark mpegaudio [--model ppc7410|ppc970|simple-scalar]
+//            [--out FILE]
 //   sf-trace --list
 //
 //===----------------------------------------------------------------------===//
@@ -15,14 +16,16 @@
 #include "harness/TraceFile.h"
 #include "support/CommandLine.h"
 
+#include "ModelOption.h"
+
 #include <fstream>
 #include <iostream>
 
 using namespace schedfilter;
 
 static int usage() {
-  std::cerr << "usage: sf-trace --benchmark NAME [--model ppc7410|ppc970]"
-               " [--out FILE]\n"
+  std::cerr << "usage: sf-trace --benchmark NAME"
+               " [--model ppc7410|ppc970|simple-scalar] [--out FILE]\n"
                "       sf-trace --list\n";
   return 1;
 }
@@ -47,15 +50,11 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  std::string ModelName = CL.get("model", "ppc7410");
-  MachineModel Model = ModelName == "ppc970" ? MachineModel::ppc970()
-                                             : MachineModel::ppc7410();
-  if (ModelName != "ppc7410" && ModelName != "ppc970") {
-    std::cerr << "error: unknown model '" << ModelName << "'\n";
+  std::optional<MachineModel> Model = parseModelOption(CL);
+  if (!Model)
     return 1;
-  }
 
-  std::vector<BenchmarkRun> Runs = generateSuiteData({*Spec}, Model);
+  std::vector<BenchmarkRun> Runs = generateSuiteData({*Spec}, *Model);
   const std::vector<BlockRecord> &Records = Runs[0].Records;
 
   std::string Out = CL.get("out");
