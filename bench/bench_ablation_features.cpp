@@ -16,11 +16,14 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiments.h"
+#include "harness/ParallelExperiments.h"
 #include "ml/Metrics.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
+#include "support/CommandLine.h"
+
+#include "JobsOption.h"
 
 #include <iostream>
 
@@ -39,12 +42,14 @@ Dataset maskFeatures(const Dataset &D, const std::vector<unsigned> &Dropped) {
   return Out;
 }
 
-double loocvError(const std::vector<Dataset> &Labeled,
+double loocvError(ExperimentEngine &Engine,
+                  const std::vector<Dataset> &Labeled,
                   const std::vector<unsigned> &Dropped) {
   std::vector<Dataset> Masked;
   for (const Dataset &D : Labeled)
     Masked.push_back(maskFeatures(D, Dropped));
-  std::vector<LoocvFold> Folds = leaveOneOut(Masked, ripperLearner());
+  std::vector<LoocvFold> Folds =
+      leaveOneOut(Masked, ripperLearner(), Engine.pool());
   std::vector<double> Errors;
   for (size_t B = 0; B != Masked.size(); ++B)
     Errors.push_back(errorRatePercent(Folds[B].Filter, Masked[B]));
@@ -53,10 +58,17 @@ double loocvError(const std::vector<Dataset> &Labeled,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  CommandLine CL(argc, argv);
+  std::optional<unsigned> Jobs = parseJobsOption(CL);
+  if (!Jobs)
+    return 1;
+  ExperimentEngine Engine(*Jobs);
+
   MachineModel Model = MachineModel::ppc7410();
-  std::vector<BenchmarkRun> Suite = generateSuiteData(specjvm98Suite(), Model);
-  std::vector<Dataset> Labeled = labelSuite(Suite, 0.0);
+  std::vector<BenchmarkRun> Suite =
+      Engine.generateSuiteData(specjvm98Suite(), Model);
+  std::vector<Dataset> Labeled = Engine.labelSuite(Suite, 0.0);
 
   const std::vector<unsigned> OpKinds = {FeatBranch, FeatCall, FeatLoad,
                                          FeatStore, FeatReturn};
@@ -68,12 +80,12 @@ int main() {
 
   std::cout << "Feature-group ablation: LOOCV error on SPECjvm98 at t = 0\n\n";
   TablePrinter T({"Feature set", "Error % (geomean)"});
-  T.addRow({"all features (Table 1)", formatDouble(loocvError(Labeled, {}), 2)});
-  T.addRow({"no bbLen", formatDouble(loocvError(Labeled, {FeatBBLen}), 2)});
-  T.addRow({"no op kinds", formatDouble(loocvError(Labeled, OpKinds), 2)});
-  T.addRow({"no FU use", formatDouble(loocvError(Labeled, FuUse), 2)});
-  T.addRow({"no hazards", formatDouble(loocvError(Labeled, Hazards), 2)});
-  T.addRow({"bbLen only", formatDouble(loocvError(Labeled, AllButBBLen), 2)});
+  T.addRow({"all features (Table 1)", formatDouble(loocvError(Engine, Labeled, {}), 2)});
+  T.addRow({"no bbLen", formatDouble(loocvError(Engine, Labeled, {FeatBBLen}), 2)});
+  T.addRow({"no op kinds", formatDouble(loocvError(Engine, Labeled, OpKinds), 2)});
+  T.addRow({"no FU use", formatDouble(loocvError(Engine, Labeled, FuUse), 2)});
+  T.addRow({"no hazards", formatDouble(loocvError(Engine, Labeled, Hazards), 2)});
+  T.addRow({"bbLen only", formatDouble(loocvError(Engine, Labeled, AllButBBLen), 2)});
   T.print(std::cout);
 
   std::cout << "\nExpected shape (matching the paper's Figure 4 reading): "

@@ -15,12 +15,15 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiments.h"
+#include "harness/ParallelExperiments.h"
 #include "ml/Baselines.h"
 #include "ml/DecisionTree.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
+#include "support/CommandLine.h"
+
+#include "JobsOption.h"
 
 #include <iostream>
 
@@ -28,7 +31,8 @@ using namespace schedfilter;
 
 namespace {
 
-void runAblation(const std::vector<BenchmarkRun> &Suite, double Threshold,
+void runAblation(ExperimentEngine &Engine,
+                 const std::vector<BenchmarkRun> &Suite, double Threshold,
                  std::ostream &OS) {
   struct NamedLearner {
     const char *Name;
@@ -49,7 +53,7 @@ void runAblation(const std::vector<BenchmarkRun> &Suite, double Threshold,
   TablePrinter T({"Policy", "Error %", "Model size (rules/conds)",
                   "Effort vs LS", "App time vs NS", "LS benefit retained"});
   for (const NamedLearner &L : Learners) {
-    ThresholdResult R = runThreshold(Suite, Threshold, L.Learner);
+    ThresholdResult R = Engine.runThreshold(Suite, Threshold, L.Learner);
     double LS = geometricMean(R.AppRatioLS);
     double LN = geometricMean(R.AppRatioLN);
     double Retained = LS < 1.0 ? 100.0 * (1.0 - LN) / (1.0 - LS) : 100.0;
@@ -70,11 +74,17 @@ void runAblation(const std::vector<BenchmarkRun> &Suite, double Threshold,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  CommandLine CL(argc, argv);
+  std::optional<unsigned> Jobs = parseJobsOption(CL);
+  if (!Jobs)
+    return 1;
+  ExperimentEngine Engine(*Jobs);
+
   MachineModel Model = MachineModel::ppc7410();
   std::vector<BenchmarkRun> Suite =
-      generateSuiteData(specjvm98Suite(), Model);
-  runAblation(Suite, 0.0, std::cout);
-  runAblation(Suite, 20.0, std::cout);
+      Engine.generateSuiteData(specjvm98Suite(), Model);
+  runAblation(Engine, Suite, 0.0, std::cout);
+  runAblation(Engine, Suite, 20.0, std::cout);
   return 0;
 }

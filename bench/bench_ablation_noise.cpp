@@ -18,12 +18,15 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiments.h"
+#include "harness/ParallelExperiments.h"
 #include "ml/Metrics.h"
 #include "ml/Ripper.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
+#include "support/CommandLine.h"
+
+#include "JobsOption.h"
 
 #include <iostream>
 
@@ -59,10 +62,17 @@ Dataset labelVariant(const BenchmarkRun &Run, double T, BandHandling H) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  CommandLine CL(argc, argv);
+  std::optional<unsigned> Jobs = parseJobsOption(CL);
+  if (!Jobs)
+    return 1;
+  ExperimentEngine Engine(*Jobs);
+
   const double T = 20.0;
   MachineModel Model = MachineModel::ppc7410();
-  std::vector<BenchmarkRun> Suite = generateSuiteData(specjvm98Suite(), Model);
+  std::vector<BenchmarkRun> Suite =
+      Engine.generateSuiteData(specjvm98Suite(), Model);
 
   std::cout << "Noise-filtering ablation at t = " << T
             << " (SPECjvm98 geometric means, LOOCV)\n\n";
@@ -83,7 +93,8 @@ int main() {
       Labeled.push_back(labelVariant(Run, T, Handling));
       TrainSize += Labeled.back().size();
     }
-    std::vector<LoocvFold> Folds = leaveOneOut(Labeled, ripperLearner());
+    std::vector<LoocvFold> Folds =
+        leaveOneOut(Labeled, ripperLearner(), Engine.pool());
 
     std::vector<double> Effort, AppLN, AppLS;
     size_t RtLS = 0, RtAll = 0;

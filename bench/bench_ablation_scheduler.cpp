@@ -13,10 +13,13 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiments.h"
+#include "harness/ParallelExperiments.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
+#include "support/CommandLine.h"
+
+#include "JobsOption.h"
 
 #include <iostream>
 
@@ -56,12 +59,19 @@ void evaluate(const std::vector<BenchmarkRun> &Suite,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  CommandLine CL(argc, argv);
+  std::optional<unsigned> Jobs = parseJobsOption(CL);
+  if (!Jobs)
+    return 1;
+  ExperimentEngine Engine(*Jobs);
+
   MachineModel Model = MachineModel::ppc7410();
   // Labels and filters come from the CPS scheduler only.
-  std::vector<BenchmarkRun> Suite = generateSuiteData(specjvm98Suite(), Model);
+  std::vector<BenchmarkRun> Suite =
+      Engine.generateSuiteData(specjvm98Suite(), Model);
   std::vector<LoocvFold> Folds =
-      leaveOneOut(labelSuite(Suite, 0.0), ripperLearner());
+      leaveOneOut(Engine.labelSuite(Suite, 0.0), ripperLearner(), Engine.pool());
 
   std::cout << "Scheduler-independence ablation (SPECjvm98, t = 0):\n"
                "filters trained with CPS labels, deployed over two "

@@ -14,20 +14,31 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiments.h"
+#include "harness/ParallelExperiments.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
+#include "support/CommandLine.h"
+
+#include "JobsOption.h"
 
 #include <iostream>
 
 using namespace schedfilter;
 
-int main() {
+int main(int argc, char **argv) {
+  CommandLine CL(argc, argv);
+  std::optional<unsigned> Jobs = parseJobsOption(CL);
+  if (!Jobs)
+    return 1;
+  ExperimentEngine Engine(*Jobs);
+
   MachineModel Model = MachineModel::ppc7410();
-  std::vector<BenchmarkRun> Suite = generateSuiteData(specjvm98Suite(), Model);
-  std::vector<Dataset> Labeled = labelSuite(Suite, 0.0);
-  std::vector<LoocvFold> Folds = leaveOneOut(Labeled, ripperLearner());
+  std::vector<BenchmarkRun> Suite =
+      Engine.generateSuiteData(specjvm98Suite(), Model);
+  std::vector<Dataset> Labeled = Engine.labelSuite(Suite, 0.0);
+  std::vector<LoocvFold> Folds =
+      leaveOneOut(Labeled, ripperLearner(), Engine.pool());
 
   std::cout << "Adaptive (hot-method-only) JIT regime: filter savings at "
                "each hot fraction\n(SPECjvm98 geometric means; t = 0 "

@@ -13,19 +13,28 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiments.h"
+#include "harness/ParallelExperiments.h"
 #include "harness/TableRender.h"
 #include "ml/Ripper.h"
+#include "support/CommandLine.h"
+
+#include "JobsOption.h"
 
 #include <iostream>
 
 using namespace schedfilter;
 
-int main() {
+int main(int argc, char **argv) {
+  CommandLine CL(argc, argv);
+  std::optional<unsigned> Jobs = parseJobsOption(CL);
+  if (!Jobs)
+    return 1;
+  ExperimentEngine Engine(*Jobs);
+
   MachineModel Model = MachineModel::ppc7410();
   std::vector<BenchmarkRun> Suite =
-      generateSuiteData(specjvm98Suite(), Model);
-  std::vector<Dataset> Labeled = labelSuite(Suite, /*ThresholdPct=*/0.0);
+      Engine.generateSuiteData(specjvm98Suite(), Model);
+  std::vector<Dataset> Labeled = Engine.labelSuite(Suite, /*ThresholdPct=*/0.0);
 
   // Train on everything except jack (the last suite member).
   Dataset Train("specjvm98-minus-jack");

@@ -3,18 +3,29 @@
 // Microbenchmarks substantiating the paper's premise that "the filter is
 // much cheaper to apply than instruction scheduling itself": per-block
 // cost of (1) feature extraction, (2) rule-set evaluation, (3) dependence
-// DAG construction, (4) full list scheduling, and (5) the block timing
-// simulator, across block sizes.  Uses google-benchmark.
+// DAG construction, (4) full list scheduling (one-shot and
+// SchedContext-reused), and (5) the block timing simulator, across block
+// sizes.  Uses google-benchmark.
+//
+// After the google-benchmark suites, the driver times one-shot vs
+// context-reused scheduling over every block of the fig3 FP suite and
+// writes the blocks/sec comparison to BENCH_schedcontext.json, so the
+// perf trajectory of the allocation-free hot path is tracked run over
+// run.
 //
 //===----------------------------------------------------------------------===//
 
 #include "features/Features.h"
 #include "ml/Ripper.h"
-#include "sched/ListScheduler.h"
+#include "sched/SchedContext.h"
 #include "sim/BlockSimulator.h"
+#include "support/Timer.h"
 #include "workloads/ProgramGenerator.h"
 
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
 
 using namespace schedfilter;
 
@@ -86,6 +97,19 @@ void BM_ListSchedule(benchmark::State &State) {
   State.SetLabel(std::to_string(BB.size()) + " insts");
 }
 
+void BM_ListScheduleReused(benchmark::State &State) {
+  BasicBlock BB = makeBlock(static_cast<int>(State.range(0)));
+  MachineModel Model = MachineModel::ppc7410();
+  ListScheduler Sched(Model);
+  SchedContext Ctx;
+  std::vector<int> Order;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Sched.schedule(BB, Ctx, Order));
+    benchmark::DoNotOptimize(Order.data());
+  }
+  State.SetLabel(std::to_string(BB.size()) + " insts");
+}
+
 void BM_BlockSimulate(benchmark::State &State) {
   BasicBlock BB = makeBlock(static_cast<int>(State.range(0)));
   MachineModel Model = MachineModel::ppc7410();
@@ -95,12 +119,85 @@ void BM_BlockSimulate(benchmark::State &State) {
   State.SetLabel(std::to_string(BB.size()) + " insts");
 }
 
+/// Times one-shot vs SchedContext-reused scheduling over every block of
+/// the fig3 FP suite (the suite whose blocks genuinely need scheduling)
+/// and writes the blocks/sec comparison to \p JsonPath.
+void runSchedContextComparison(const char *JsonPath) {
+  MachineModel Model = MachineModel::ppc7410();
+  ListScheduler Sched(Model);
+
+  std::vector<BasicBlock> Blocks;
+  for (const Program &P : generateSuite(fpSuite()))
+    P.forEachBlock([&](const BasicBlock &BB) { Blocks.push_back(BB); });
+
+  // Pick a repetition count that gives stable timings (~hundreds of ms
+  // per side) without inflating bench time on slow machines.
+  const int Reps = 20;
+  uint64_t Guard = 0; // defeat dead-code elimination across reps
+
+  AccumulatingTimer OneShotTimer;
+  OneShotTimer.start();
+  for (int R = 0; R != Reps; ++R)
+    for (const BasicBlock &BB : Blocks) {
+      ScheduleResult SR = Sched.schedule(BB);
+      Guard += SR.WorkUnits + static_cast<uint64_t>(SR.Order.size());
+    }
+  OneShotTimer.stop();
+
+  SchedContext Ctx;
+  std::vector<int> Order;
+  AccumulatingTimer ReusedTimer;
+  ReusedTimer.start();
+  for (int R = 0; R != Reps; ++R)
+    for (const BasicBlock &BB : Blocks) {
+      Guard += Sched.schedule(BB, Ctx, Order);
+      Guard += static_cast<uint64_t>(Order.size());
+    }
+  ReusedTimer.stop();
+
+  double Scheduled = static_cast<double>(Blocks.size()) * Reps;
+  double OneShotRate = Scheduled / OneShotTimer.seconds();
+  double ReusedRate = Scheduled / ReusedTimer.seconds();
+  double Speedup = ReusedRate / OneShotRate;
+
+  std::ofstream OS(JsonPath);
+  OS << "{\n"
+     << "  \"suite\": \"fp\",\n"
+     << "  \"blocks\": " << Blocks.size() << ",\n"
+     << "  \"repetitions\": " << Reps << ",\n"
+     << "  \"one_shot_blocks_per_sec\": " << static_cast<uint64_t>(OneShotRate)
+     << ",\n"
+     << "  \"context_reused_blocks_per_sec\": "
+     << static_cast<uint64_t>(ReusedRate) << ",\n"
+     << "  \"speedup\": " << Speedup << "\n"
+     << "}\n";
+
+  std::cout << "\nSchedContext reuse on the fig3 FP suite ("
+            << Blocks.size() << " blocks x " << Reps << " reps):\n"
+            << "  one-shot:       " << static_cast<uint64_t>(OneShotRate)
+            << " blocks/sec\n"
+            << "  context-reused: " << static_cast<uint64_t>(ReusedRate)
+            << " blocks/sec\n"
+            << "  speedup:        " << Speedup << "x  (guard " << (Guard & 1)
+            << ")\n"
+            << "wrote " << JsonPath << '\n';
+}
+
 } // namespace
 
 BENCHMARK(BM_FeatureExtraction)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
 BENCHMARK(BM_FilterDecision)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
 BENCHMARK(BM_DagBuild)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
 BENCHMARK(BM_ListSchedule)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
+BENCHMARK(BM_ListScheduleReused)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
 BENCHMARK(BM_BlockSimulate)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  runSchedContextComparison("BENCH_schedcontext.json");
+  return 0;
+}

@@ -15,11 +15,14 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiments.h"
+#include "harness/ParallelExperiments.h"
 #include "ml/Metrics.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
+#include "support/CommandLine.h"
+
+#include "JobsOption.h"
 
 #include <iostream>
 
@@ -43,11 +46,19 @@ double retention(const BenchmarkRun &Run, const RuleSet &Filter) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  CommandLine CL(argc, argv);
+  std::optional<unsigned> Jobs = parseJobsOption(CL);
+  if (!Jobs)
+    return 1;
+  ExperimentEngine Engine(*Jobs);
+
   MachineModel Model = MachineModel::ppc7410();
-  std::vector<BenchmarkRun> Suite = generateSuiteData(specjvm98Suite(), Model);
-  std::vector<Dataset> Labeled = labelSuite(Suite, 0.0);
-  std::vector<LoocvFold> Factory = leaveOneOut(Labeled, ripperLearner());
+  std::vector<BenchmarkRun> Suite =
+      Engine.generateSuiteData(specjvm98Suite(), Model);
+  std::vector<Dataset> Labeled = Engine.labelSuite(Suite, 0.0);
+  std::vector<LoocvFold> Factory =
+      leaveOneOut(Labeled, ripperLearner(), Engine.pool());
   std::vector<LoocvFold> Self = selfTrain(Labeled, ripperLearner());
 
   std::cout << "Retraining upper bound (paper footnote 4): factory (LOOCV) "

@@ -7,19 +7,22 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiments.h"
+#include "harness/ParallelExperiments.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
+#include "support/CommandLine.h"
+
+#include "JobsOption.h"
 
 #include <iostream>
 
 using namespace schedfilter;
 
-static void printSuite(const char *Title,
+static void printSuite(ExperimentEngine &Engine, const char *Title,
                        const std::vector<BenchmarkSpec> &Suite) {
   std::cout << Title << "\n\n";
   MachineModel Model = MachineModel::ppc7410();
-  std::vector<BenchmarkRun> Runs = generateSuiteData(Suite, Model);
+  std::vector<BenchmarkRun> Runs = Engine.generateSuiteData(Suite, Model);
 
   TablePrinter T({"Benchmark", "Description", "Methods", "Blocks", "Insts",
                   "LS blocks (t=0)", "LS frac"});
@@ -40,9 +43,17 @@ static void printSuite(const char *Title,
   std::cout << '\n';
 }
 
-int main() {
-  printSuite("Table 2: SPECjvm98 benchmark stand-ins", specjvm98Suite());
-  printSuite("Table 7: benchmarks that benefit from scheduling (FP suite)",
+int main(int argc, char **argv) {
+  CommandLine CL(argc, argv);
+  std::optional<unsigned> Jobs = parseJobsOption(CL);
+  if (!Jobs)
+    return 1;
+  ExperimentEngine Engine(*Jobs);
+
+  printSuite(Engine, "Table 2: SPECjvm98 benchmark stand-ins",
+             specjvm98Suite());
+  printSuite(Engine,
+             "Table 7: benchmarks that benefit from scheduling (FP suite)",
              fpSuite());
   return 0;
 }

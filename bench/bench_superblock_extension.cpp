@@ -20,6 +20,10 @@
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
+#include "support/CommandLine.h"
+#include "support/TaskPool.h"
+
+#include "JobsOption.h"
 
 #include <iostream>
 
@@ -81,7 +85,13 @@ SuperblockData measure(const BenchmarkSpec &Spec, const MachineModel &Model) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  CommandLine CL(argc, argv);
+  std::optional<unsigned> Jobs = parseJobsOption(CL);
+  if (!Jobs)
+    return 1;
+  TaskPool Pool(*Jobs);
+
   MachineModel Model = MachineModel::ppc7410();
   std::vector<BenchmarkSpec> Suite = specjvm98Suite();
 
@@ -89,9 +99,11 @@ int main() {
                "over local scheduling,\nand the filter procedure applied at "
                "superblock granularity\n\n";
 
-  std::vector<SuperblockData> Data;
-  for (const BenchmarkSpec &S : Suite)
-    Data.push_back(measure(S, Model));
+  // Per-benchmark measurement is a pure function of (Spec, Model); fan
+  // it out and keep suite order by writing into index-owned slots.
+  std::vector<SuperblockData> Data(Suite.size());
+  Pool.parallelFor(Suite.size(),
+                   [&](size_t I) { Data[I] = measure(Suite[I], Model); });
 
   TablePrinter T({"Benchmark", "Local sched vs NS", "Superblock vs NS",
                   "Extra improvement"});
@@ -112,7 +124,8 @@ int main() {
   std::vector<Dataset> Labeled;
   for (SuperblockData &D : Data)
     Labeled.push_back(std::move(D.Labeled));
-  std::vector<LoocvFold> Folds = leaveOneOut(Labeled, ripperLearner());
+  std::vector<LoocvFold> Folds =
+      leaveOneOut(Labeled, ripperLearner(), Pool);
   std::vector<double> Errors;
   std::cout << "\nLOOCV error at superblock granularity (t = 0):\n";
   for (size_t B = 0; B != Folds.size(); ++B) {

@@ -11,19 +11,28 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiments.h"
+#include "harness/ParallelExperiments.h"
 #include "harness/TableRender.h"
+#include "support/CommandLine.h"
+
+#include "JobsOption.h"
 
 #include <iostream>
 
 using namespace schedfilter;
 
-int main() {
+int main(int argc, char **argv) {
+  CommandLine CL(argc, argv);
+  std::optional<unsigned> Jobs = parseJobsOption(CL);
+  if (!Jobs)
+    return 1;
+  ExperimentEngine Engine(*Jobs);
+
   MachineModel Model = MachineModel::ppc7410();
   std::vector<BenchmarkRun> Suite =
-      generateSuiteData(specjvm98Suite(), Model);
+      Engine.generateSuiteData(specjvm98Suite(), Model);
   std::vector<ThresholdResult> Sweep =
-      runThresholdSweep(Suite, paperThresholds(), ripperLearner());
+      Engine.runThresholdSweep(Suite, paperThresholds(), ripperLearner());
   renderTable4(Sweep, std::cout);
   return 0;
 }

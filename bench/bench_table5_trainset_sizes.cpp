@@ -11,24 +11,33 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiments.h"
+#include "harness/ParallelExperiments.h"
 #include "harness/TableRender.h"
+#include "support/CommandLine.h"
+
+#include "JobsOption.h"
 
 #include <iostream>
 
 using namespace schedfilter;
 
-int main() {
+int main(int argc, char **argv) {
+  CommandLine CL(argc, argv);
+  std::optional<unsigned> Jobs = parseJobsOption(CL);
+  if (!Jobs)
+    return 1;
+  ExperimentEngine Engine(*Jobs);
+
   MachineModel Model = MachineModel::ppc7410();
   std::vector<BenchmarkRun> Suite =
-      generateSuiteData(specjvm98Suite(), Model);
+      Engine.generateSuiteData(specjvm98Suite(), Model);
 
   // Only labeling is needed for this table; avoid the full LOOCV sweep.
   std::vector<ThresholdResult> Sweep;
   for (double T : paperThresholds()) {
     ThresholdResult R;
     R.ThresholdPct = T;
-    for (const Dataset &D : labelSuite(Suite, T)) {
+    for (const Dataset &D : Engine.labelSuite(Suite, T)) {
       R.TrainLS += D.countLabel(Label::LS);
       R.TrainNS += D.countLabel(Label::NS);
     }

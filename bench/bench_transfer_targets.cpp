@@ -13,11 +13,14 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiments.h"
+#include "harness/ParallelExperiments.h"
 #include "ml/Metrics.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
+#include "support/CommandLine.h"
+
+#include "JobsOption.h"
 
 #include <iostream>
 
@@ -32,12 +35,12 @@ struct TargetData {
   std::vector<LoocvFold> Folds;
 };
 
-TargetData prepare(const MachineModel &Model) {
+TargetData prepare(ExperimentEngine &Engine, const MachineModel &Model) {
   TargetData D;
   D.ModelName = Model.getName();
-  D.Runs = generateSuiteData(specjvm98Suite(), Model);
-  D.Labeled = labelSuite(D.Runs, /*ThresholdPct=*/0.0);
-  D.Folds = leaveOneOut(D.Labeled, ripperLearner());
+  D.Runs = Engine.generateSuiteData(specjvm98Suite(), Model);
+  D.Labeled = Engine.labelSuite(D.Runs, /*ThresholdPct=*/0.0);
+  D.Folds = leaveOneOut(D.Labeled, ripperLearner(), Engine.pool());
   return D;
 }
 
@@ -69,9 +72,15 @@ void evaluateTransfer(const TargetData &Train, const TargetData &Deploy,
 
 } // namespace
 
-int main() {
-  TargetData G4 = prepare(MachineModel::ppc7410());
-  TargetData G5 = prepare(MachineModel::ppc970());
+int main(int argc, char **argv) {
+  CommandLine CL(argc, argv);
+  std::optional<unsigned> Jobs = parseJobsOption(CL);
+  if (!Jobs)
+    return 1;
+  ExperimentEngine Engine(*Jobs);
+
+  TargetData G4 = prepare(Engine, MachineModel::ppc7410());
+  TargetData G5 = prepare(Engine, MachineModel::ppc970());
 
   std::cout << "Cross-target transfer of factory-trained filters "
                "(SPECjvm98, t = 0, LOOCV)\n\n";

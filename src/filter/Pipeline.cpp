@@ -2,6 +2,7 @@
 
 #include "filter/Pipeline.h"
 
+#include "sched/SchedContext.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -25,6 +26,15 @@ CompileReport schedfilter::compileProgram(const Program &P,
                                           const MachineModel &Model,
                                           SchedulingPolicy Policy,
                                           ScheduleFilter *Filter) {
+  SchedContext Ctx;
+  return compileProgram(P, Model, Policy, Filter, Ctx);
+}
+
+CompileReport schedfilter::compileProgram(const Program &P,
+                                          const MachineModel &Model,
+                                          SchedulingPolicy Policy,
+                                          ScheduleFilter *Filter,
+                                          SchedContext &Ctx) {
   assert((Policy == SchedulingPolicy::Filtered) == (Filter != nullptr) &&
          "filter must be supplied exactly for the Filtered policy");
 
@@ -34,15 +44,24 @@ CompileReport schedfilter::compileProgram(const Program &P,
   BlockSimulator Sim(Model);
   uint64_t FilterWorkBefore = Filter ? Filter->workUnits() : 0;
 
-  std::vector<const BasicBlock *> Blocks;
+  std::vector<const BasicBlock *> &Blocks = Ctx.blockList();
+  Blocks.clear();
   P.forEachBlock([&](const BasicBlock &BB) { Blocks.push_back(&BB); });
   Report.NumBlocks = Blocks.size();
+
+  // Per-block order slots.  The outer arena only grows, so each inner
+  // vector -- cleared per block -- keeps its heap allocation across blocks
+  // and across programs compiled with the same context.
+  std::vector<std::vector<int>> &Orders = Ctx.orderArena();
+  if (Orders.size() < Blocks.size())
+    Orders.resize(Blocks.size());
+  for (size_t B = 0; B != Blocks.size(); ++B)
+    Orders[B].clear();
 
   // Phase 1 (timed): the scheduling phase proper -- per-block filter
   // decision plus list scheduling of the chosen blocks.  One timer spans
   // the whole phase, like the paper's per-phase compiler timers; the
   // filter's cost is thereby charged to scheduling (§3.1).
-  std::vector<std::vector<int>> Orders(Blocks.size());
   AccumulatingTimer SchedTimer;
   SchedTimer.start();
   for (size_t B = 0; B != Blocks.size(); ++B) {
@@ -56,15 +75,13 @@ CompileReport schedfilter::compileProgram(const Program &P,
       DoSchedule = true;
       break;
     case SchedulingPolicy::Filtered:
-      DoSchedule = Filter->shouldSchedule(BB);
+      DoSchedule = Filter->shouldSchedule(BB, Ctx);
       break;
     }
     if (!DoSchedule)
       continue;
-    ScheduleResult SR = Scheduler.schedule(BB);
-    Report.SchedulingWork += SR.WorkUnits;
+    Report.SchedulingWork += Scheduler.schedule(BB, Ctx, Orders[B]);
     ++Report.NumScheduled;
-    Orders[B] = std::move(SR.Order);
   }
   SchedTimer.stop();
   Report.SchedulingSeconds = SchedTimer.seconds();
@@ -72,8 +89,8 @@ CompileReport schedfilter::compileProgram(const Program &P,
   // Phase 2 (untimed): the paper's SIM(P) application-time metric.
   for (size_t B = 0; B != Blocks.size(); ++B) {
     const BasicBlock &BB = *Blocks[B];
-    uint64_t Cycles =
-        Orders[B].empty() ? Sim.simulate(BB) : Sim.simulate(BB, Orders[B]);
+    uint64_t Cycles = Orders[B].empty() ? Sim.simulate(BB, Ctx)
+                                        : Sim.simulate(BB, Orders[B], Ctx);
     Report.SimulatedTime +=
         static_cast<double>(BB.getExecCount()) * static_cast<double>(Cycles);
   }
@@ -90,6 +107,17 @@ CompileReport schedfilter::compileProgramAdaptive(const Program &P,
                                                   SchedulingPolicy Policy,
                                                   ScheduleFilter *Filter,
                                                   double HotMethodFraction) {
+  SchedContext Ctx;
+  return compileProgramAdaptive(P, Model, Policy, Filter, HotMethodFraction,
+                                Ctx);
+}
+
+CompileReport schedfilter::compileProgramAdaptive(const Program &P,
+                                                  const MachineModel &Model,
+                                                  SchedulingPolicy Policy,
+                                                  ScheduleFilter *Filter,
+                                                  double HotMethodFraction,
+                                                  SchedContext &Ctx) {
   assert(HotMethodFraction >= 0.0 && HotMethodFraction <= 1.0 &&
          "fraction must be in [0, 1]");
 
@@ -120,9 +148,9 @@ CompileReport schedfilter::compileProgramAdaptive(const Program &P,
   for (size_t MI = 0; MI != P.size(); ++MI)
     (IsHot[MI] ? Hot : Cold).addMethod(P[MI]);
 
-  CompileReport HotReport = compileProgram(Hot, Model, Policy, Filter);
+  CompileReport HotReport = compileProgram(Hot, Model, Policy, Filter, Ctx);
   CompileReport ColdReport =
-      compileProgram(Cold, Model, SchedulingPolicy::Never);
+      compileProgram(Cold, Model, SchedulingPolicy::Never, nullptr, Ctx);
 
   CompileReport Merged;
   Merged.Policy = Policy;

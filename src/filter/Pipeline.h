@@ -62,6 +62,14 @@ CompileReport compileProgram(const Program &P, const MachineModel &Model,
                              SchedulingPolicy Policy,
                              ScheduleFilter *Filter = nullptr);
 
+/// Context-reuse variant: identical report, but all per-block scratch
+/// (DAG adjacency, ready queues, scoreboards, order buffers) lives in
+/// \p Ctx, so compiling block after block -- and program after program
+/// with the same context -- performs zero steady-state allocations.
+CompileReport compileProgram(const Program &P, const MachineModel &Model,
+                             SchedulingPolicy Policy, ScheduleFilter *Filter,
+                             SchedContext &Ctx);
+
 /// The adaptive-JIT variant the paper discusses in §3.1: only *hot*
 /// methods are optimized at all.  Methods are ranked by total profile
 /// weight and the top \p HotMethodFraction (by method count, ties broken
@@ -74,6 +82,14 @@ CompileReport compileProgramAdaptive(const Program &P,
                                      SchedulingPolicy Policy,
                                      ScheduleFilter *Filter,
                                      double HotMethodFraction);
+
+/// Context-reuse variant of compileProgramAdaptive.
+CompileReport compileProgramAdaptive(const Program &P,
+                                     const MachineModel &Model,
+                                     SchedulingPolicy Policy,
+                                     ScheduleFilter *Filter,
+                                     double HotMethodFraction,
+                                     SchedContext &Ctx);
 
 } // namespace schedfilter
 

@@ -2,7 +2,14 @@
 
 #include "filter/ScheduleFilter.h"
 
+#include "sched/SchedContext.h"
+
 using namespace schedfilter;
+
+bool ScheduleFilter::shouldSchedule(const BasicBlock &BB, SchedContext &Ctx) {
+  (void)Ctx; // no scratch needed yet; see the header
+  return shouldSchedule(BB);
+}
 
 bool ScheduleFilter::shouldSchedule(const BasicBlock &BB) {
   // O(1) rejection for blocks no rule can match.

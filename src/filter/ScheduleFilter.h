@@ -17,6 +17,8 @@
 
 namespace schedfilter {
 
+class SchedContext;
+
 /// Wraps an induced RuleSet as an online block filter.
 class ScheduleFilter {
 public:
@@ -30,6 +32,13 @@ public:
   /// length resolve to the default class with a single comparison and no
   /// feature extraction (see RuleSet::minMatchableBBLen).
   bool shouldSchedule(const BasicBlock &BB);
+
+  /// Context-threading variant used by the allocation-free pipeline.
+  /// Feature extraction and rule evaluation are already allocation-free
+  /// (the feature vector is a fixed-size array), so this simply keeps the
+  /// per-block call shape uniform; \p Ctx is reserved for future filters
+  /// that need scratch (e.g. DAG-derived features).
+  bool shouldSchedule(const BasicBlock &BB, SchedContext &Ctx);
 
   /// Const query without statistics (for tests).
   bool shouldSchedule(const BasicBlock &BB) const;

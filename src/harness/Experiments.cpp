@@ -1,137 +1,41 @@
 //===- harness/Experiments.cpp - Paper experiment drivers -------------------===//
+//
+// The serial entry points are thin wrappers over a one-job
+// ExperimentEngine (harness/ParallelExperiments.h): one implementation,
+// one set of numbers, at any --jobs value.
+//
+//===----------------------------------------------------------------------===//
 
 #include "harness/Experiments.h"
 
-#include "ml/Metrics.h"
+#include "harness/ParallelExperiments.h"
 #include "ml/Ripper.h"
-#include "support/Statistics.h"
-
-#include <cassert>
 
 using namespace schedfilter;
 
 std::vector<BenchmarkRun>
 schedfilter::generateSuiteData(const std::vector<BenchmarkSpec> &Suite,
                                const MachineModel &Model) {
-  std::vector<BenchmarkRun> Runs;
-  Runs.reserve(Suite.size());
-  ListScheduler Scheduler(Model);
-  BlockSimulator Sim(Model);
-
-  for (const BenchmarkSpec &Spec : Suite) {
-    BenchmarkRun Run;
-    Run.Name = Spec.Name;
-    Run.Prog = ProgramGenerator(Spec).generate();
-
-    // The instrumented-scheduler pass of §2.2: for every block, record its
-    // features and its simulated cost with and without list scheduling.
-    Run.Prog.forEachBlock([&](const BasicBlock &BB) {
-      BlockRecord Rec;
-      Rec.X = extractFeatures(BB);
-      Rec.ExecCount = BB.getExecCount();
-      Rec.CostNoSched = Sim.simulate(BB);
-      ScheduleResult SR = Scheduler.schedule(BB);
-      Rec.CostSched = Sim.simulate(BB, SR.Order);
-      Run.Records.push_back(Rec);
-    });
-
-    Run.NeverReport =
-        compileProgram(Run.Prog, Model, SchedulingPolicy::Never);
-    Run.AlwaysReport =
-        compileProgram(Run.Prog, Model, SchedulingPolicy::Always);
-    Runs.push_back(std::move(Run));
-  }
-  return Runs;
+  return ExperimentEngine(1).generateSuiteData(Suite, Model);
 }
 
 std::vector<Dataset>
 schedfilter::labelSuite(const std::vector<BenchmarkRun> &Suite,
                         double ThresholdPct) {
-  std::vector<Dataset> Datasets;
-  Datasets.reserve(Suite.size());
-  for (const BenchmarkRun &Run : Suite)
-    Datasets.push_back(buildDataset(Run.Records, ThresholdPct, Run.Name));
-  return Datasets;
+  return ExperimentEngine(1).labelSuite(Suite, ThresholdPct);
 }
 
 ThresholdResult
 schedfilter::runThreshold(const std::vector<BenchmarkRun> &Suite,
                           double ThresholdPct, const LearnerFn &Learner) {
-  ThresholdResult Result;
-  Result.ThresholdPct = ThresholdPct;
-
-  std::vector<Dataset> Labeled = labelSuite(Suite, ThresholdPct);
-  for (const Dataset &D : Labeled) {
-    Result.TrainLS += D.countLabel(Label::LS);
-    Result.TrainNS += D.countLabel(Label::NS);
-  }
-
-  std::vector<LoocvFold> Folds = leaveOneOut(Labeled, Learner);
-  assert(Folds.size() == Suite.size() && "one fold per benchmark");
-
-  // We need the model to recompile under the filter; reuse the paper's
-  // target.  (Suite data must have been generated with the same model;
-  // the bench drivers do so.)
-  MachineModel Model = MachineModel::ppc7410();
-
-  for (size_t B = 0; B != Suite.size(); ++B) {
-    const BenchmarkRun &Run = Suite[B];
-    const RuleSet &Filter = Folds[B].Filter;
-    Result.Names.push_back(Run.Name);
-    Result.Filters.push_back(Filter);
-
-    // Table 3: classification error on the held-out benchmark's labeled
-    // (threshold-filtered) instances.
-    Result.ErrorPct.push_back(errorRatePercent(Filter, Labeled[B]));
-
-    // Table 4 + Table 6: apply the filter to every block of the held-out
-    // benchmark (no instances are dropped at run time).
-    double PredTime = 0.0, NoSchedTime = 0.0;
-    size_t RtLS = 0, RtNS = 0;
-    for (const BlockRecord &Rec : Run.Records) {
-      double W = static_cast<double>(Rec.ExecCount);
-      bool SchedIt = Filter.predict(Rec.X) == Label::LS;
-      if (SchedIt)
-        ++RtLS;
-      else
-        ++RtNS;
-      PredTime += W * static_cast<double>(SchedIt ? Rec.CostSched
-                                                  : Rec.CostNoSched);
-      NoSchedTime += W * static_cast<double>(Rec.CostNoSched);
-    }
-    Result.PredictedTimePct.push_back(
-        100.0 * safeRatio(PredTime, NoSchedTime, 1.0));
-    Result.RuntimeLS += RtLS;
-    Result.RuntimeNS += RtNS;
-
-    // Figures: recompile under the held-out filter and compare effort and
-    // simulated application time against the fixed policies.
-    ScheduleFilter Online(Filter);
-    CompileReport LN =
-        compileProgram(Run.Prog, Model, SchedulingPolicy::Filtered, &Online);
-    Result.EffortRatioWork.push_back(
-        safeRatio(static_cast<double>(LN.SchedulingWork),
-                  static_cast<double>(Run.AlwaysReport.SchedulingWork)));
-    Result.EffortRatioWall.push_back(safeRatio(
-        LN.SchedulingSeconds, Run.AlwaysReport.SchedulingSeconds));
-    Result.AppRatioLN.push_back(
-        safeRatio(LN.SimulatedTime, Run.NeverReport.SimulatedTime, 1.0));
-    Result.AppRatioLS.push_back(safeRatio(Run.AlwaysReport.SimulatedTime,
-                                          Run.NeverReport.SimulatedTime,
-                                          1.0));
-  }
-  return Result;
+  return ExperimentEngine(1).runThreshold(Suite, ThresholdPct, Learner);
 }
 
 std::vector<ThresholdResult>
 schedfilter::runThresholdSweep(const std::vector<BenchmarkRun> &Suite,
                                const std::vector<double> &Thresholds,
                                const LearnerFn &Learner) {
-  std::vector<ThresholdResult> Results;
-  Results.reserve(Thresholds.size());
-  for (double T : Thresholds)
-    Results.push_back(runThreshold(Suite, T, Learner));
-  return Results;
+  return ExperimentEngine(1).runThresholdSweep(Suite, Thresholds, Learner);
 }
 
 std::vector<double> schedfilter::paperThresholds() {

@@ -25,6 +25,10 @@ namespace schedfilter {
 /// reports.
 struct BenchmarkRun {
   std::string Name;
+  /// Name of the MachineModel the records and reports were generated
+  /// under (set by generateSuiteData); runThreshold recompiles under the
+  /// same target so cross-model experiments stay consistent.
+  std::string ModelName;
   Program Prog;
   std::vector<BlockRecord> Records;
   CompileReport NeverReport;  ///< NS: baseline SIM time, zero effort.

@@ -1,0 +1,186 @@
+//===- harness/ParallelExperiments.cpp - Deterministic parallel engine ------===//
+
+#include "harness/ParallelExperiments.h"
+
+#include "ml/Metrics.h"
+#include "sched/SchedContext.h"
+#include "support/Statistics.h"
+
+#include <cassert>
+
+using namespace schedfilter;
+
+namespace {
+
+/// The §2.2 instrumented-scheduler pass plus the two fixed-policy compile
+/// reports for one benchmark.  All per-block work reuses \p Ctx, so this
+/// is the allocation-free steady state the SchedContext refactor bought;
+/// a pure function of (Spec, Model) -- safe at any parallelism.
+BenchmarkRun runOneBenchmark(const BenchmarkSpec &Spec,
+                             const MachineModel &Model, SchedContext &Ctx) {
+  ListScheduler Scheduler(Model);
+  BlockSimulator Sim(Model);
+
+  BenchmarkRun Run;
+  Run.Name = Spec.Name;
+  Run.ModelName = Model.getName();
+  Run.Prog = ProgramGenerator(Spec).generate();
+
+  // For every block, record its features and its simulated cost with and
+  // without list scheduling.
+  std::vector<int> &Order = Ctx.orderBuffer();
+  Run.Prog.forEachBlock([&](const BasicBlock &BB) {
+    BlockRecord Rec;
+    Rec.X = extractFeatures(BB);
+    Rec.ExecCount = BB.getExecCount();
+    Rec.CostNoSched = Sim.simulate(BB, Ctx);
+    Scheduler.schedule(BB, Ctx, Order);
+    Rec.CostSched = Sim.simulate(BB, Order, Ctx);
+    Run.Records.push_back(Rec);
+  });
+
+  Run.NeverReport =
+      compileProgram(Run.Prog, Model, SchedulingPolicy::Never, nullptr, Ctx);
+  Run.AlwaysReport =
+      compileProgram(Run.Prog, Model, SchedulingPolicy::Always, nullptr, Ctx);
+  return Run;
+}
+
+/// Everything runThreshold measures for one held-out benchmark.
+struct PerBenchmarkEval {
+  double ErrorPct = 0.0;
+  double PredictedTimePct = 0.0;
+  size_t RuntimeLS = 0;
+  size_t RuntimeNS = 0;
+  double EffortRatioWork = 0.0;
+  double EffortRatioWall = 0.0;
+  double AppRatioLN = 0.0;
+  double AppRatioLS = 0.0;
+};
+
+PerBenchmarkEval evaluateBenchmark(const BenchmarkRun &Run,
+                                   const RuleSet &Filter,
+                                   const Dataset &Labeled,
+                                   const MachineModel &Model,
+                                   SchedContext &Ctx) {
+  PerBenchmarkEval Out;
+
+  // Table 3: classification error on the held-out benchmark's labeled
+  // (threshold-filtered) instances.
+  Out.ErrorPct = errorRatePercent(Filter, Labeled);
+
+  // Table 4 + Table 6: apply the filter to every block of the held-out
+  // benchmark (no instances are dropped at run time).
+  double PredTime = 0.0, NoSchedTime = 0.0;
+  for (const BlockRecord &Rec : Run.Records) {
+    double W = static_cast<double>(Rec.ExecCount);
+    bool SchedIt = Filter.predict(Rec.X) == Label::LS;
+    if (SchedIt)
+      ++Out.RuntimeLS;
+    else
+      ++Out.RuntimeNS;
+    PredTime += W * static_cast<double>(SchedIt ? Rec.CostSched
+                                                : Rec.CostNoSched);
+    NoSchedTime += W * static_cast<double>(Rec.CostNoSched);
+  }
+  Out.PredictedTimePct = 100.0 * safeRatio(PredTime, NoSchedTime, 1.0);
+
+  // Figures: recompile under the held-out filter and compare effort and
+  // simulated application time against the fixed policies.
+  ScheduleFilter Online(Filter);
+  CompileReport LN =
+      compileProgram(Run.Prog, Model, SchedulingPolicy::Filtered, &Online,
+                     Ctx);
+  Out.EffortRatioWork =
+      safeRatio(static_cast<double>(LN.SchedulingWork),
+                static_cast<double>(Run.AlwaysReport.SchedulingWork));
+  Out.EffortRatioWall =
+      safeRatio(LN.SchedulingSeconds, Run.AlwaysReport.SchedulingSeconds);
+  Out.AppRatioLN =
+      safeRatio(LN.SimulatedTime, Run.NeverReport.SimulatedTime, 1.0);
+  Out.AppRatioLS = safeRatio(Run.AlwaysReport.SimulatedTime,
+                             Run.NeverReport.SimulatedTime, 1.0);
+  return Out;
+}
+
+} // namespace
+
+std::vector<BenchmarkRun>
+ExperimentEngine::generateSuiteData(const std::vector<BenchmarkSpec> &Suite,
+                                    const MachineModel &Model) {
+  std::vector<BenchmarkRun> Runs(Suite.size());
+  Pool.parallelFor(Suite.size(), [&](size_t I) {
+    SchedContext Ctx;
+    Runs[I] = runOneBenchmark(Suite[I], Model, Ctx);
+  });
+  return Runs;
+}
+
+std::vector<Dataset>
+ExperimentEngine::labelSuite(const std::vector<BenchmarkRun> &Suite,
+                             double ThresholdPct) {
+  std::vector<Dataset> Datasets(Suite.size());
+  Pool.parallelFor(Suite.size(), [&](size_t I) {
+    Datasets[I] =
+        buildDataset(Suite[I].Records, ThresholdPct, Suite[I].Name);
+  });
+  return Datasets;
+}
+
+ThresholdResult
+ExperimentEngine::runThreshold(const std::vector<BenchmarkRun> &Suite,
+                               double ThresholdPct, const LearnerFn &Learner) {
+  ThresholdResult Result;
+  Result.ThresholdPct = ThresholdPct;
+
+  std::vector<Dataset> Labeled = labelSuite(Suite, ThresholdPct);
+  for (const Dataset &D : Labeled) {
+    Result.TrainLS += D.countLabel(Label::LS);
+    Result.TrainNS += D.countLabel(Label::NS);
+  }
+
+  std::vector<LoocvFold> Folds = leaveOneOut(Labeled, Learner, Pool);
+  assert(Folds.size() == Suite.size() && "one fold per benchmark");
+
+  // Recompile under the same target the suite data was generated with
+  // (generateSuiteData records it); fall back to the paper's target for
+  // hand-assembled runs.
+  MachineModel Model = MachineModel::ppc7410();
+  if (!Suite.empty() && !Suite.front().ModelName.empty())
+    if (std::optional<MachineModel> M =
+            MachineModel::byName(Suite.front().ModelName))
+      Model = *M;
+
+  std::vector<PerBenchmarkEval> Evals(Suite.size());
+  Pool.parallelFor(Suite.size(), [&](size_t B) {
+    SchedContext Ctx;
+    Evals[B] = evaluateBenchmark(Suite[B], Folds[B].Filter, Labeled[B],
+                                 Model, Ctx);
+  });
+
+  // Assemble in suite order (never completion order).
+  for (size_t B = 0; B != Suite.size(); ++B) {
+    Result.Names.push_back(Suite[B].Name);
+    Result.Filters.push_back(std::move(Folds[B].Filter));
+    Result.ErrorPct.push_back(Evals[B].ErrorPct);
+    Result.PredictedTimePct.push_back(Evals[B].PredictedTimePct);
+    Result.RuntimeLS += Evals[B].RuntimeLS;
+    Result.RuntimeNS += Evals[B].RuntimeNS;
+    Result.EffortRatioWork.push_back(Evals[B].EffortRatioWork);
+    Result.EffortRatioWall.push_back(Evals[B].EffortRatioWall);
+    Result.AppRatioLN.push_back(Evals[B].AppRatioLN);
+    Result.AppRatioLS.push_back(Evals[B].AppRatioLS);
+  }
+  return Result;
+}
+
+std::vector<ThresholdResult>
+ExperimentEngine::runThresholdSweep(const std::vector<BenchmarkRun> &Suite,
+                                    const std::vector<double> &Thresholds,
+                                    const LearnerFn &Learner) {
+  std::vector<ThresholdResult> Results(Thresholds.size());
+  Pool.parallelFor(Thresholds.size(), [&](size_t I) {
+    Results[I] = runThreshold(Suite, Thresholds[I], Learner);
+  });
+  return Results;
+}

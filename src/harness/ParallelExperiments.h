@@ -1,0 +1,71 @@
+//===- harness/ParallelExperiments.h - Deterministic parallel engine -*- C++ -*-===//
+///
+/// \file
+/// The parallel experiment engine: fans suite data generation, threshold
+/// sweeps and LOOCV folds out across a fixed TaskPool, with per-task
+/// SchedContext arenas and (for stochastic tasks) per-task forked Rng
+/// streams.
+///
+/// The determinism contract: every method returns bit-for-bit the same
+/// result at any job count, equal to the serial functions in
+/// Experiments.h/CrossValidation.h (which are thin wrappers over a
+/// one-job engine).  Three properties deliver it:
+///   1. every task is a pure function of its own inputs -- workloads are
+///      generated from per-benchmark seeds, learners seed their own Rng,
+///      and any task-level randomness comes from Rng::fork(taskIndex);
+///   2. results are written into index-owned slots, so assembly order is
+///      the input order, not completion order;
+///   3. the only non-deterministic outputs anywhere are measured
+///      wall-clock fields (CompileReport::SchedulingSeconds), which vary
+///      run to run even serially and back no pinned number.
+/// tests/determinism_test.cpp locks the contract in; EXPERIMENTS.md
+/// documents it for the --jobs flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_HARNESS_PARALLELEXPERIMENTS_H
+#define SCHEDFILTER_HARNESS_PARALLELEXPERIMENTS_H
+
+#include "harness/Experiments.h"
+#include "support/TaskPool.h"
+
+namespace schedfilter {
+
+/// Experiment drivers over a fixed worker pool.  An engine is cheap to
+/// construct (Jobs == 1 spawns no threads) and reusable across calls.
+class ExperimentEngine {
+public:
+  explicit ExperimentEngine(unsigned Jobs = 1) : Pool(Jobs) {}
+
+  unsigned jobs() const { return Pool.jobs(); }
+  TaskPool &pool() { return Pool; }
+
+  /// Parallel-by-benchmark counterpart of schedfilter::generateSuiteData.
+  std::vector<BenchmarkRun>
+  generateSuiteData(const std::vector<BenchmarkSpec> &Suite,
+                    const MachineModel &Model);
+
+  /// Parallel-by-benchmark counterpart of schedfilter::labelSuite.
+  std::vector<Dataset> labelSuite(const std::vector<BenchmarkRun> &Suite,
+                                  double ThresholdPct);
+
+  /// Parallel counterpart of schedfilter::runThreshold: LOOCV folds and
+  /// the per-benchmark evaluation/recompilation both fan out.
+  ThresholdResult runThreshold(const std::vector<BenchmarkRun> &Suite,
+                               double ThresholdPct, const LearnerFn &Learner);
+
+  /// Parallel counterpart of schedfilter::runThresholdSweep: thresholds
+  /// fan out across the pool; each threshold's inner layers run inline on
+  /// the worker that owns it (TaskPool nesting).
+  std::vector<ThresholdResult>
+  runThresholdSweep(const std::vector<BenchmarkRun> &Suite,
+                    const std::vector<double> &Thresholds,
+                    const LearnerFn &Learner);
+
+private:
+  TaskPool Pool;
+};
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_HARNESS_PARALLELEXPERIMENTS_H

@@ -17,6 +17,8 @@
 
 namespace schedfilter {
 
+class TaskPool;
+
 /// A learner: trains a RuleSet from a dataset.
 using LearnerFn = std::function<RuleSet(const Dataset &)>;
 
@@ -33,6 +35,14 @@ struct LoocvFold {
 /// and pairs the result with dataset i's name.  Order follows the input.
 std::vector<LoocvFold> leaveOneOut(const std::vector<Dataset> &PerBenchmark,
                                    const LearnerFn &Learner);
+
+/// Parallel variant: trains the folds on \p Pool's workers.  Each fold is
+/// a pure function of its training set (learners seed their own Rng), so
+/// the result is bit-for-bit identical to the serial overload at any job
+/// count; fold order always follows the input.  \p Learner must be safe to
+/// invoke concurrently from multiple threads.
+std::vector<LoocvFold> leaveOneOut(const std::vector<Dataset> &PerBenchmark,
+                                   const LearnerFn &Learner, TaskPool &Pool);
 
 /// Self-training upper bound discussed in the paper's footnote: train and
 /// name one fold per benchmark, trained on that benchmark itself.

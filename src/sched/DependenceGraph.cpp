@@ -4,9 +4,43 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
 
 using namespace schedfilter;
+
+namespace {
+
+/// Grows the per-register arrays of \p S to cover register \p R.  Fresh
+/// entries carry stamp 0, which never equals a live epoch.
+void growTo(DagBuildScratch &S, Reg R) {
+  if (static_cast<size_t>(R) < S.DefStamp.size())
+    return;
+  size_t N = static_cast<size_t>(R) + 1;
+  S.DefStamp.resize(N, 0);
+  S.LastDef.resize(N, -1);
+  S.ReaderStamp.resize(N, 0);
+  S.Readers.resize(N);
+}
+
+/// Pointer to the last def of \p R this epoch, or nullptr.
+const int *lastDef(const DagBuildScratch &S, Reg R) {
+  if (static_cast<size_t>(R) >= S.DefStamp.size() ||
+      S.DefStamp[R] != S.Epoch)
+    return nullptr;
+  return &S.LastDef[R];
+}
+
+/// The readers-since-def list of \p R, cleared lazily on first touch this
+/// epoch (capacity is retained).
+std::vector<int> &readersOf(DagBuildScratch &S, Reg R) {
+  growTo(S, R);
+  if (S.ReaderStamp[R] != S.Epoch) {
+    S.ReaderStamp[R] = S.Epoch;
+    S.Readers[R].clear();
+  }
+  return S.Readers[R];
+}
+
+} // namespace
 
 void DependenceGraph::addEdge(int From, int To, unsigned Latency,
                               DepKind Kind) {
@@ -27,7 +61,7 @@ void DependenceGraph::addEdge(int From, int To, unsigned Latency,
   ++InDegree[static_cast<size_t>(To)];
   ++EdgeCount;
   // An edge insert costs several elementary operations: the dedupe scan,
-  // the push, and the bookkeeping that led here (hash lookups in the
+  // the push, and the bookkeeping that led here (def/use lookups in the
   // builder).  Weight it so work units track wall time.
   Work += 4;
 }
@@ -46,51 +80,62 @@ static bool isSpeculationSafe(const Instruction &Inst) {
 DependenceGraph::DependenceGraph(const BasicBlock &BB,
                                  const MachineModel &Model,
                                  bool SuperblockMode) {
+  DagBuildScratch Scratch;
+  build(BB, Model, Scratch, SuperblockMode);
+}
+
+void DependenceGraph::build(const BasicBlock &BB, const MachineModel &Model,
+                            DagBuildScratch &S, bool SuperblockMode) {
   size_t N = BB.size();
-  Succs.resize(N);
+  // Reset reusing capacity: the outer Succs vector only grows, so the
+  // inner edge lists (and their heap blocks) survive across blocks.
+  if (Succs.size() < N)
+    Succs.resize(N);
+  for (size_t I = 0; I != N; ++I)
+    Succs[I].clear();
+  NodeCount = N;
   InDegree.assign(N, 0);
   Height.assign(N, 0);
+  EdgeCount = 0;
+  Work = 0;
 
-  // Per-register bookkeeping: the last writer, and every reader since then.
-  std::unordered_map<Reg, int> LastDef;
-  std::unordered_map<Reg, std::vector<int>> ReadersSinceDef;
+  // One epoch per build invalidates all per-register state in O(1).
+  ++S.Epoch;
+  S.LoadsSinceStore.clear();
+  S.SinceBarrier.clear();
+
   // Memory ordering state.
   int LastStore = -1;
-  std::vector<int> LoadsSinceStore;
   // Hazard ordering state.
   int LastPEI = -1;
   int LastBarrier = -1;
-  std::vector<int> SinceBarrier; // instructions after the last barrier
   // Superblock state: the most recent interior terminator (side exit).
   int LastSideExit = -1;
 
   for (int I = 0, E = static_cast<int>(N); I != E; ++I) {
     const Instruction &Inst = BB[static_cast<size_t>(I)];
-    unsigned Lat = Model.getLatency(Inst.getOpcode());
-    Work += 3; // per-instruction def/use bookkeeping (hash updates)
+    Work += 3; // per-instruction def/use bookkeeping
 
     // Register dependences.
     for (Reg U : Inst.uses()) {
-      auto It = LastDef.find(U);
-      if (It != LastDef.end())
-        addEdge(It->second, I,
-                Model.getLatency(BB[static_cast<size_t>(It->second)]
-                                     .getOpcode()),
+      if (const int *Def = lastDef(S, U))
+        addEdge(*Def, I,
+                Model.getLatency(BB[static_cast<size_t>(*Def)].getOpcode()),
                 DepKind::Data);
-      ReadersSinceDef[U].push_back(I);
+      readersOf(S, U).push_back(I);
     }
     for (Reg D : Inst.defs()) {
-      auto It = LastDef.find(D);
-      if (It != LastDef.end())
-        addEdge(It->second, I, 1, DepKind::Output);
-      auto RIt = ReadersSinceDef.find(D);
-      if (RIt != ReadersSinceDef.end()) {
-        for (int Reader : RIt->second)
+      if (const int *Def = lastDef(S, D))
+        addEdge(*Def, I, 1, DepKind::Output);
+      growTo(S, D);
+      if (S.ReaderStamp[D] == S.Epoch) {
+        for (int Reader : S.Readers[D])
           if (Reader != I)
             addEdge(Reader, I, 0, DepKind::Anti);
-        RIt->second.clear();
+        S.Readers[D].clear();
       }
-      LastDef[D] = I;
+      S.DefStamp[D] = S.Epoch;
+      S.LastDef[D] = I;
     }
 
     // Memory ordering: conservative aliasing.  Loads may reorder freely
@@ -100,13 +145,13 @@ DependenceGraph::DependenceGraph(const BasicBlock &BB,
     if (Inst.writesMemory()) {
       if (LastStore >= 0)
         addEdge(LastStore, I, 1, DepKind::Memory);
-      for (int L : LoadsSinceStore)
+      for (int L : S.LoadsSinceStore)
         if (L != I)
           addEdge(L, I, 0, DepKind::Memory);
-      LoadsSinceStore.clear();
+      S.LoadsSinceStore.clear();
       LastStore = I;
     } else if (Inst.readsMemory()) {
-      LoadsSinceStore.push_back(I);
+      S.LoadsSinceStore.push_back(I);
     }
 
     // Hazards.  PEIs must stay ordered among themselves (exceptions are
@@ -128,12 +173,12 @@ DependenceGraph::DependenceGraph(const BasicBlock &BB,
     if (LastBarrier >= 0)
       addEdge(LastBarrier, I, 0, DepKind::Hazard);
     if (Inst.isBarrier()) {
-      for (int P : SinceBarrier)
+      for (int P : S.SinceBarrier)
         addEdge(P, I, 0, DepKind::Hazard);
-      SinceBarrier.clear();
+      S.SinceBarrier.clear();
       LastBarrier = I;
     } else {
-      SinceBarrier.push_back(I);
+      S.SinceBarrier.push_back(I);
     }
 
     // Side exits: in superblock mode, unsafe instructions may not move up
@@ -150,7 +195,6 @@ DependenceGraph::DependenceGraph(const BasicBlock &BB,
       if (SuperblockMode && I + 1 != static_cast<int>(N))
         LastSideExit = I;
     }
-    (void)Lat;
   }
 
   computeHeights(BB, Model);

@@ -46,10 +46,43 @@ struct DepEdge {
   DepKind Kind;
 };
 
+/// Register bookkeeping scratch used while building one DAG.  Owned either
+/// by a SchedContext (the allocation-free steady-state path: capacities
+/// persist across blocks, entries are invalidated in O(1) by bumping
+/// Epoch) or by the one-shot DependenceGraph constructor (a short-lived
+/// local).  Indexed by virtual register number; registers are small dense
+/// integers, so flat arrays replace the hash maps the one-shot path used
+/// to allocate per block.
+struct DagBuildScratch {
+  uint64_t Epoch = 0;
+  /// LastDef[R] is valid iff DefStamp[R] == Epoch.
+  std::vector<uint64_t> DefStamp;
+  std::vector<int> LastDef;
+  /// Readers[R] holds the readers of R since its last def; the list is
+  /// logically empty (and physically cleared on first touch, keeping its
+  /// capacity) when ReaderStamp[R] != Epoch.
+  std::vector<uint64_t> ReaderStamp;
+  std::vector<std::vector<int>> Readers;
+  std::vector<int> LoadsSinceStore;
+  std::vector<int> SinceBarrier;
+};
+
 /// Dependence DAG for one block.  Node i is instruction i of the block.
+/// Default-construct once and build() repeatedly to reuse the adjacency
+/// storage across blocks (zero steady-state allocations); the build
+/// results are identical to the one-shot constructor's.
 class DependenceGraph {
 public:
-  /// Builds the DAG for \p BB under machine model \p Model.
+  DependenceGraph() = default;
+
+  /// One-shot convenience: builds the DAG for \p BB under machine model
+  /// \p Model with a local scratch.  Semantics of \p SuperblockMode as for
+  /// build().
+  DependenceGraph(const BasicBlock &BB, const MachineModel &Model,
+                  bool SuperblockMode = false);
+
+  /// (Re)builds the DAG for \p BB under \p Model, reusing this graph's
+  /// adjacency storage and \p Scratch across calls.
   ///
   /// With \p SuperblockMode, interior terminators (side exits of a
   /// superblock) are permitted: nothing may move *down* across a side
@@ -59,10 +92,10 @@ public:
   /// across it.  Stores, calls, hazards, system ops and other branches
   /// stay put.  Without the flag (the default, the paper's local
   /// scheduler), a terminator is expected only at the end.
-  DependenceGraph(const BasicBlock &BB, const MachineModel &Model,
-                  bool SuperblockMode = false);
+  void build(const BasicBlock &BB, const MachineModel &Model,
+             DagBuildScratch &Scratch, bool SuperblockMode = false);
 
-  size_t numNodes() const { return Succs.size(); }
+  size_t numNodes() const { return NodeCount; }
   size_t numEdges() const { return EdgeCount; }
 
   const std::vector<DepEdge> &succs(int Node) const {
@@ -90,9 +123,12 @@ private:
   void addEdge(int From, int To, unsigned Latency, DepKind Kind);
   void computeHeights(const BasicBlock &BB, const MachineModel &Model);
 
+  /// Outer vector never shrinks (inner edge lists keep their capacity
+  /// across build() calls); NodeCount tracks the active prefix.
   std::vector<std::vector<DepEdge>> Succs;
   std::vector<int> InDegree;
   std::vector<long> Height;
+  size_t NodeCount = 0;
   size_t EdgeCount = 0;
   uint64_t Work = 0;
 };

@@ -2,43 +2,13 @@
 
 #include "sched/ListScheduler.h"
 
+#include "sched/SchedContext.h"
+
 #include <algorithm>
 #include <cassert>
-#include <queue>
+#include <functional>
 
 using namespace schedfilter;
-
-namespace {
-
-/// Ready instruction that can start at the current clock; ordered by a
-/// primary and secondary priority key (larger is better), then original
-/// program order.
-struct NowEntry {
-  long Primary;
-  long Secondary;
-  int Index;
-  bool operator<(const NowEntry &O) const {
-    if (Primary != O.Primary)
-      return Primary < O.Primary; // max-heap on the priority key
-    if (Secondary != O.Secondary)
-      return Secondary < O.Secondary;
-    return Index > O.Index; // then min index
-  }
-};
-
-/// Ready instruction whose operands are not available yet; ordered by
-/// earliest start time ("the instruction that can start soonest").
-struct FutureEntry {
-  long EarliestStart;
-  int Index;
-  bool operator>(const FutureEntry &O) const {
-    if (EarliestStart != O.EarliestStart)
-      return EarliestStart > O.EarliestStart;
-    return Index > O.Index;
-  }
-};
-
-} // namespace
 
 ScheduleResult ListScheduler::identity(const BasicBlock &BB) {
   ScheduleResult R;
@@ -49,7 +19,9 @@ ScheduleResult ListScheduler::identity(const BasicBlock &BB) {
 }
 
 ScheduleResult ListScheduler::schedule(const BasicBlock &BB) const {
-  DependenceGraph Dag(BB, Model);
+  DagBuildScratch DagScratch;
+  DependenceGraph Dag;
+  Dag.build(BB, Model, DagScratch);
   ScheduleResult R = schedule(BB, Dag);
   R.WorkUnits += Dag.workUnits();
   return R;
@@ -57,64 +29,92 @@ ScheduleResult ListScheduler::schedule(const BasicBlock &BB) const {
 
 ScheduleResult ListScheduler::schedule(const BasicBlock &BB,
                                        const DependenceGraph &Dag) const {
-  int N = static_cast<int>(BB.size());
   ScheduleResult R;
-  R.Order.reserve(static_cast<size_t>(N));
+  ListSchedulerScratch Scratch;
+  R.WorkUnits = scheduleInto(BB, Dag, Scratch, R.Order);
+  return R;
+}
+
+uint64_t ListScheduler::schedule(const BasicBlock &BB, SchedContext &Ctx,
+                                 std::vector<int> &OrderOut) const {
+  DependenceGraph &Dag = Ctx.dag();
+  Dag.build(BB, Model, Ctx.dagScratch());
+  return scheduleInto(BB, Dag, Ctx.schedulerScratch(), OrderOut) +
+         Dag.workUnits();
+}
+
+uint64_t ListScheduler::scheduleInto(const BasicBlock &BB,
+                                     const DependenceGraph &Dag,
+                                     ListSchedulerScratch &S,
+                                     std::vector<int> &OrderOut) const {
+  int N = static_cast<int>(BB.size());
+  uint64_t WorkUnits = 0;
+  OrderOut.clear();
+  OrderOut.reserve(static_cast<size_t>(N));
 
   // Cycle-driven CPS: among instructions that can start at the current
   // clock, pick the one with the longest weighted critical path; when none
   // can, advance the clock to the next earliest start time.  This realizes
   // the paper's "can start soonest, ties by critical path" rule with
   // O(log n) per decision.
-  std::vector<long> EarliestStart(static_cast<size_t>(N), 0);
-  std::vector<int> Pending = Dag.inDegrees();
-  std::priority_queue<NowEntry> Now;
-  std::priority_queue<FutureEntry, std::vector<FutureEntry>,
-                      std::greater<FutureEntry>>
-      Future;
+  S.EarliestStart.assign(static_cast<size_t>(N), 0);
+  const std::vector<int> &InDeg = Dag.inDegrees();
+  S.Pending.assign(InDeg.begin(), InDeg.end());
+  std::vector<ReadyNowEntry> &Now = S.Now;
+  std::vector<ReadyFutureEntry> &Future = S.Future;
+  Now.clear();
+  Future.clear();
+  const std::greater<ReadyFutureEntry> FutureLess; // min-heap comparator
 
   for (int I = 0; I != N; ++I)
-    if (Pending[static_cast<size_t>(I)] == 0)
-      Future.push({0, I});
+    if (S.Pending[static_cast<size_t>(I)] == 0) {
+      Future.push_back({0, I});
+      std::push_heap(Future.begin(), Future.end(), FutureLess);
+    }
 
   long Clock = 0;
   while (!Now.empty() || !Future.empty()) {
     if (Now.empty()) {
-      Clock = std::max(Clock, Future.top().EarliestStart);
-      ++R.WorkUnits;
+      Clock = std::max(Clock, Future.front().EarliestStart);
+      ++WorkUnits;
     }
     // Promote everything that can start at (or before) the clock.
-    while (!Future.empty() && Future.top().EarliestStart <= Clock) {
-      int Idx = Future.top().Index;
-      Future.pop();
+    while (!Future.empty() && Future.front().EarliestStart <= Clock) {
+      int Idx = Future.front().Index;
+      std::pop_heap(Future.begin(), Future.end(), FutureLess);
+      Future.pop_back();
       long Cp = Dag.criticalPath(Idx);
       long Fanout = static_cast<long>(Dag.succs(Idx).size());
       if (Priority == SchedPriority::CriticalPath)
-        Now.push({Cp, Fanout, Idx});
+        Now.push_back({Cp, Fanout, Idx});
       else
-        Now.push({Fanout, Cp, Idx});
-      R.WorkUnits += 2; // one pop + one push
+        Now.push_back({Fanout, Cp, Idx});
+      std::push_heap(Now.begin(), Now.end());
+      WorkUnits += 2; // one pop + one push
     }
     if (Now.empty())
       continue; // clock advanced; promote again
 
-    int Picked = Now.top().Index;
-    Now.pop();
-    ++R.WorkUnits;
-    R.Order.push_back(Picked);
+    int Picked = Now.front().Index;
+    std::pop_heap(Now.begin(), Now.end());
+    Now.pop_back();
+    ++WorkUnits;
+    OrderOut.push_back(Picked);
 
     for (const DepEdge &E : Dag.succs(Picked)) {
       long Avail = Clock + static_cast<long>(E.Latency);
       size_t To = static_cast<size_t>(E.To);
-      if (Avail > EarliestStart[To])
-        EarliestStart[To] = Avail;
-      ++R.WorkUnits;
-      if (--Pending[To] == 0)
-        Future.push({EarliestStart[To], E.To});
+      if (Avail > S.EarliestStart[To])
+        S.EarliestStart[To] = Avail;
+      ++WorkUnits;
+      if (--S.Pending[To] == 0) {
+        Future.push_back({S.EarliestStart[To], E.To});
+        std::push_heap(Future.begin(), Future.end(), FutureLess);
+      }
     }
   }
 
-  assert(R.Order.size() == static_cast<size_t>(N) &&
+  assert(OrderOut.size() == static_cast<size_t>(N) &&
          "cycle in dependence graph: not all instructions were scheduled");
-  return R;
+  return WorkUnits;
 }

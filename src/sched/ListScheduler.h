@@ -24,6 +24,8 @@
 
 namespace schedfilter {
 
+class SchedContext;
+
 /// Result of scheduling one block.
 struct ScheduleResult {
   /// Order[i] is the original index of the i-th instruction in the new
@@ -31,6 +33,47 @@ struct ScheduleResult {
   std::vector<int> Order;
   /// Deterministic effort: DAG work plus scheduler loop work.
   uint64_t WorkUnits = 0;
+};
+
+/// Ready instruction that can start at the current clock; ordered by a
+/// primary and secondary priority key (larger is better), then original
+/// program order.  std::push_heap/pop_heap over a reused vector realize
+/// exactly the max-priority-queue the one-shot path used, so the pick
+/// sequence is identical (the key is a total order: indices are unique).
+struct ReadyNowEntry {
+  long Primary;
+  long Secondary;
+  int Index;
+  bool operator<(const ReadyNowEntry &O) const {
+    if (Primary != O.Primary)
+      return Primary < O.Primary; // max-heap on the priority key
+    if (Secondary != O.Secondary)
+      return Secondary < O.Secondary;
+    return Index > O.Index; // then min index
+  }
+};
+
+/// Ready instruction whose operands are not available yet; ordered by
+/// earliest start time ("the instruction that can start soonest").
+struct ReadyFutureEntry {
+  long EarliestStart;
+  int Index;
+  bool operator>(const ReadyFutureEntry &O) const {
+    if (EarliestStart != O.EarliestStart)
+      return EarliestStart > O.EarliestStart;
+    return Index > O.Index;
+  }
+};
+
+/// Per-block scheduling scratch: ready queues, the in-degree scoreboard
+/// and the earliest-start table.  Owned by a SchedContext in the reused
+/// path (capacities persist across blocks) or created locally by the
+/// one-shot entry points.
+struct ListSchedulerScratch {
+  std::vector<long> EarliestStart;
+  std::vector<int> Pending;
+  std::vector<ReadyNowEntry> Now;       ///< max-heap via std::push_heap
+  std::vector<ReadyFutureEntry> Future; ///< min-heap via std::greater
 };
 
 /// Tie-breaking priority used among instructions that can start soonest.
@@ -61,6 +104,20 @@ public:
   /// account DAG-build cost separately).
   ScheduleResult schedule(const BasicBlock &BB,
                           const DependenceGraph &Dag) const;
+
+  /// Allocation-free steady-state path: builds the DAG into \p Ctx and
+  /// schedules with \p Ctx scratch, writing the order into \p OrderOut
+  /// (cleared first; its capacity is reused).  Returns the total work
+  /// units (DAG build + scheduling), identical to schedule(BB).WorkUnits,
+  /// and produces the identical order.
+  uint64_t schedule(const BasicBlock &BB, SchedContext &Ctx,
+                    std::vector<int> &OrderOut) const;
+
+  /// Core loop over an already-built DAG with caller-owned scratch;
+  /// returns the scheduling (not DAG) work units.
+  uint64_t scheduleInto(const BasicBlock &BB, const DependenceGraph &Dag,
+                        ListSchedulerScratch &Scratch,
+                        std::vector<int> &OrderOut) const;
 
   /// The identity schedule, i.e. "no scheduling" (NS).  Provided so that
   /// policies can be written uniformly.

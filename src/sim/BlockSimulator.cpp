@@ -2,41 +2,77 @@
 
 #include "sim/BlockSimulator.h"
 
+#include "sched/SchedContext.h"
+
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
 
 using namespace schedfilter;
 
-uint64_t BlockSimulator::simulate(const BasicBlock &BB) const {
-  std::vector<int> Identity(BB.size());
-  for (size_t I = 0; I != BB.size(); ++I)
+namespace {
+
+/// Fills \p Identity with 0..N-1, reusing its capacity.
+const std::vector<int> &identityOrder(std::vector<int> &Identity, size_t N) {
+  Identity.resize(N);
+  for (size_t I = 0; I != N; ++I)
     Identity[I] = static_cast<int>(I);
-  return simulate(BB, Identity);
+  return Identity;
+}
+
+} // namespace
+
+uint64_t BlockSimulator::simulate(const BasicBlock &BB) const {
+  SimScratch S;
+  return run(BB, identityOrder(S.Identity, BB.size()), S, nullptr);
 }
 
 uint64_t BlockSimulator::simulate(const BasicBlock &BB,
                                   const std::vector<int> &Order) const {
-  return run(BB, Order, nullptr);
+  SimScratch S;
+  return run(BB, Order, S, nullptr);
+}
+
+uint64_t BlockSimulator::simulate(const BasicBlock &BB,
+                                  SchedContext &Ctx) const {
+  SimScratch &S = Ctx.simScratch();
+  return run(BB, identityOrder(S.Identity, BB.size()), S, nullptr);
+}
+
+uint64_t BlockSimulator::simulate(const BasicBlock &BB,
+                                  const std::vector<int> &Order,
+                                  SchedContext &Ctx) const {
+  return run(BB, Order, Ctx.simScratch(), nullptr);
 }
 
 SimTrace BlockSimulator::simulateWithTrace(
     const BasicBlock &BB, const std::vector<int> &Order) const {
   SimTrace Trace;
-  Trace.TotalCycles = run(BB, Order, &Trace);
+  SimScratch S;
+  Trace.TotalCycles = run(BB, Order, S, &Trace);
+  return Trace;
+}
+
+const SimTrace &
+BlockSimulator::simulateWithTrace(const BasicBlock &BB,
+                                  const std::vector<int> &Order,
+                                  SchedContext &Ctx) const {
+  SimTrace &Trace = Ctx.trace();
+  Trace.Events.clear();
+  Trace.TotalCycles = run(BB, Order, Ctx.simScratch(), &Trace);
   return Trace;
 }
 
 uint64_t BlockSimulator::run(const BasicBlock &BB,
-                             const std::vector<int> &Order,
+                             const std::vector<int> &Order, SimScratch &S,
                              SimTrace *Trace) const {
   assert(Order.size() == BB.size() && "order must cover the block");
   if (BB.empty())
     return 0;
 
-  // Scoreboard state.
-  std::unordered_map<Reg, uint64_t> RegReady; // cycle the value is available
-  std::vector<uint64_t> UnitFree(Model.getNumUnits(), 0);
+  // Scoreboard state.  One epoch per block invalidates every register's
+  // ready cycle in O(1); the per-unit table is tiny and cleared directly.
+  ++S.Epoch;
+  S.UnitFree.assign(Model.getNumUnits(), 0);
   uint64_t LastStoreDone = 0;   // completion cycle of the latest store
   uint64_t SerializeUntil = 0;  // barrier: nothing may issue before this
   uint64_t MaxCompletion = 0;
@@ -57,9 +93,9 @@ uint64_t BlockSimulator::run(const BasicBlock &BB,
     // drained, and a suitable functional unit free.
     uint64_t Earliest = SerializeUntil;
     for (Reg U : Inst.uses()) {
-      auto It = RegReady.find(U);
-      if (It != RegReady.end())
-        Earliest = std::max(Earliest, It->second);
+      if (static_cast<size_t>(U) < S.RegStamp.size() &&
+          S.RegStamp[U] == S.Epoch)
+        Earliest = std::max(Earliest, S.RegReady[U]);
     }
     if (Inst.readsMemory())
       Earliest = std::max(Earliest, LastStoreDone);
@@ -67,10 +103,10 @@ uint64_t BlockSimulator::run(const BasicBlock &BB,
     const std::vector<unsigned> &Candidates = Model.unitsFor(Info.Unit);
     assert(!Candidates.empty() && "no functional unit for this class");
     unsigned BestUnit = Candidates.front();
-    uint64_t BestFree = UnitFree[BestUnit];
+    uint64_t BestFree = S.UnitFree[BestUnit];
     for (unsigned U : Candidates) {
-      if (UnitFree[U] < BestFree) {
-        BestFree = UnitFree[U];
+      if (S.UnitFree[U] < BestFree) {
+        BestFree = S.UnitFree[U];
         BestUnit = U;
       }
     }
@@ -95,11 +131,17 @@ uint64_t BlockSimulator::run(const BasicBlock &BB,
 
     // Issue.
     uint64_t Done = Cycle + Lat;
-    for (Reg D : Inst.defs())
-      RegReady[D] = Done;
+    for (Reg D : Inst.defs()) {
+      if (static_cast<size_t>(D) >= S.RegStamp.size()) {
+        S.RegStamp.resize(static_cast<size_t>(D) + 1, 0);
+        S.RegReady.resize(static_cast<size_t>(D) + 1, 0);
+      }
+      S.RegStamp[D] = S.Epoch;
+      S.RegReady[D] = Done;
+    }
     if (Inst.writesMemory())
       LastStoreDone = std::max(LastStoreDone, Done);
-    UnitFree[BestUnit] =
+    S.UnitFree[BestUnit] =
         Model.isPipelined(Inst.getOpcode()) ? Cycle + 1 : Done;
     if (Inst.isBarrier())
       SerializeUntil = std::max(SerializeUntil, Done);

@@ -25,6 +25,8 @@
 
 namespace schedfilter {
 
+class SchedContext;
+
 /// Per-instruction pipeline events recorded by simulateWithTrace.
 struct IssueEvent {
   int OriginalIndex = 0;     ///< index into the (unpermuted) block
@@ -45,6 +47,21 @@ struct SimTrace {
   std::string toString(const BasicBlock &BB, const MachineModel &M) const;
 };
 
+/// Scoreboard scratch for simulating one block: per-register result-ready
+/// cycles (epoch-stamped flat array -- absent entries are invalidated in
+/// O(1) per block) and per-unit busy cycles.  Owned by a SchedContext in
+/// the reused path or created locally by the one-shot entry points.
+struct SimScratch {
+  uint64_t Epoch = 0;
+  /// RegReady[R] is valid iff RegStamp[R] == Epoch; an invalid entry means
+  /// "ready at cycle 0" (value never written in this block).
+  std::vector<uint64_t> RegStamp;
+  std::vector<uint64_t> RegReady;
+  std::vector<uint64_t> UnitFree;
+  /// Reused identity permutation for the order-less simulate() path.
+  std::vector<int> Identity;
+};
+
 /// Estimates block cost in cycles under a machine model.
 class BlockSimulator {
 public:
@@ -58,15 +75,27 @@ public:
   /// (Order[i] = original index of the i-th instruction executed).
   uint64_t simulate(const BasicBlock &BB, const std::vector<int> &Order) const;
 
+  /// Allocation-free steady-state variants reusing \p Ctx scoreboard
+  /// scratch; results are identical to the one-shot entry points.
+  uint64_t simulate(const BasicBlock &BB, SchedContext &Ctx) const;
+  uint64_t simulate(const BasicBlock &BB, const std::vector<int> &Order,
+                    SchedContext &Ctx) const;
+
   /// Like simulate(), additionally recording per-instruction issue and
   /// completion cycles.  TotalCycles always equals what simulate()
   /// returns for the same inputs.
   SimTrace simulateWithTrace(const BasicBlock &BB,
                              const std::vector<int> &Order) const;
 
+  /// Trace variant reusing \p Ctx scratch and its trace buffer; the
+  /// returned reference lives until the next trace call on \p Ctx.
+  const SimTrace &simulateWithTrace(const BasicBlock &BB,
+                                    const std::vector<int> &Order,
+                                    SchedContext &Ctx) const;
+
 private:
   uint64_t run(const BasicBlock &BB, const std::vector<int> &Order,
-               SimTrace *Trace) const;
+               SimScratch &S, SimTrace *Trace) const;
 
   const MachineModel &Model;
 };

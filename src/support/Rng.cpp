@@ -120,3 +120,15 @@ int Rng::zipf(int N, double S) {
 }
 
 Rng Rng::split() { return Rng(next64()); }
+
+Rng Rng::fork(uint64_t StreamId) const {
+  // Hash (State, Inc, StreamId) through two SplitMix64 steps.  Unlike
+  // split(), this is const: the parent stream is left untouched, so the
+  // mapping StreamId -> stream does not depend on when (or whether) other
+  // forks happen -- the property parallel task dispatch relies on.
+  uint64_t S = State + 0x9e3779b97f4a7c15ULL * (StreamId + 1);
+  uint64_t Seed = splitMix64(S);
+  S ^= Inc;
+  Seed ^= splitMix64(S);
+  return Rng(Seed);
+}

@@ -78,8 +78,17 @@ public:
   int zipf(int N, double S);
 
   /// Derives an independent generator from this stream; convenient for
-  /// giving each generated method its own substream.
+  /// giving each generated method its own substream.  Consumes state (two
+  /// split() calls return different generators).
   Rng split();
+
+  /// Derives an independent generator for stream \p StreamId without
+  /// advancing this generator (SplitMix-style).  fork(i) is a pure
+  /// function of (current state, i): parallel tasks can each take
+  /// Base.fork(taskIndex) in any order -- or concurrently -- and every
+  /// task sees the same stream it would have seen serially.  Distinct
+  /// stream ids give statistically independent streams.
+  Rng fork(uint64_t StreamId) const;
 
 private:
   uint64_t State;

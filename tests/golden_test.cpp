@@ -9,7 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiments.h"
+#include "harness/ParallelExperiments.h"
 #include "support/Statistics.h"
 
 #include <gtest/gtest.h>
@@ -67,6 +67,40 @@ TEST(Golden, HeadlineFrontierAtZero) {
   EXPECT_NEAR(Retention, 0.921, 0.05);
   EXPECT_NEAR(Effort, 0.539, 0.06);
   EXPECT_NEAR(LS, 0.890, 0.02);
+}
+
+TEST(Golden, HeadlineNumbersIdenticalAtJobsFour) {
+  // The pinned numbers must reproduce exactly under the parallel engine:
+  // regenerate the suite and rerun t = 0 at four jobs and compare both
+  // against the absolute golden values and against the serial reference.
+  MachineModel Model = MachineModel::ppc7410();
+  ExperimentEngine Engine(4);
+  std::vector<BenchmarkRun> Suite =
+      Engine.generateSuiteData(specjvm98Suite(), Model);
+  ThresholdResult R = Engine.runThreshold(Suite, 0.0, ripperLearner());
+
+  // Table 5 at t = 0.
+  EXPECT_EQ(R.TrainLS, 1673u);
+  EXPECT_EQ(R.TrainNS, 7154u);
+  // Table 3 geomean and the benefit-retention headline.
+  EXPECT_NEAR(geometricMean(R.ErrorPct), 7.78, 0.75);
+  double LS = geometricMean(R.AppRatioLS);
+  double LN = geometricMean(R.AppRatioLN);
+  EXPECT_NEAR((1.0 - LN) / (1.0 - LS), 0.921, 0.05);
+
+  // Bit-for-bit agreement with the serial path on every deterministic
+  // output (wall-clock fields excluded by construction).
+  ThresholdResult S = runThreshold(fullSuite(), 0.0, ripperLearner());
+  EXPECT_EQ(R.ErrorPct, S.ErrorPct);
+  EXPECT_EQ(R.PredictedTimePct, S.PredictedTimePct);
+  EXPECT_EQ(R.EffortRatioWork, S.EffortRatioWork);
+  EXPECT_EQ(R.AppRatioLN, S.AppRatioLN);
+  EXPECT_EQ(R.AppRatioLS, S.AppRatioLS);
+  EXPECT_EQ(R.RuntimeLS, S.RuntimeLS);
+  EXPECT_EQ(R.RuntimeNS, S.RuntimeNS);
+  ASSERT_EQ(R.Filters.size(), S.Filters.size());
+  for (size_t I = 0; I != R.Filters.size(); ++I)
+    EXPECT_EQ(R.Filters[I].toString(), S.Filters[I].toString());
 }
 
 TEST(Golden, EffortCollapsesAtHighThreshold) {

@@ -111,6 +111,49 @@ TEST(Rng, SplitStreamsIndependent) {
   EXPECT_NE(B.next64(), C.next64());
 }
 
+TEST(Rng, ForkReplaysExactly) {
+  Rng A(31);
+  Rng B = A.fork(7);
+  Rng C = A.fork(7);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(B.next64(), C.next64());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng A(31), Untouched(31);
+  (void)A.fork(0);
+  (void)A.fork(123456789);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next64(), Untouched.next64());
+}
+
+TEST(Rng, ForkStreamsIndependent) {
+  // Distinct stream ids (including adjacent ones) must give unrelated
+  // streams; sample a few and check pairwise disagreement.
+  Rng A(31);
+  std::vector<uint64_t> Firsts;
+  for (uint64_t Id : {0ULL, 1ULL, 2ULL, 1000ULL, 0xFFFFFFFFFFFFULL}) {
+    Rng S = A.fork(Id);
+    Firsts.push_back(S.next64());
+  }
+  for (size_t I = 0; I != Firsts.size(); ++I)
+    for (size_t J = I + 1; J != Firsts.size(); ++J)
+      EXPECT_NE(Firsts[I], Firsts[J]);
+  // Longer prefixes of two adjacent streams should also disagree almost
+  // everywhere.
+  Rng S0 = A.fork(0), S1 = A.fork(1);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += S0.next32() == S1.next32();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(Rng, ForkDependsOnParentState) {
+  Rng A(31), B(32);
+  Rng FA = A.fork(5), FB = B.fork(5);
+  EXPECT_NE(FA.next64(), FB.next64());
+}
+
 TEST(Statistics, MeanAndMedian) {
   EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
   EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);

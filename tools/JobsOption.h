@@ -1,0 +1,55 @@
+//===- tools/JobsOption.h - Shared --jobs option handling -------*- C++ -*-===//
+///
+/// \file
+/// One place for the sf-* tools and bench drivers to resolve the --jobs
+/// flag, so the validation and the error message cannot drift between
+/// them.  The engine guarantees results are bit-for-bit identical at any
+/// accepted value (see harness/ParallelExperiments.h), so --jobs is purely
+/// a wall-clock knob.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_TOOLS_JOBSOPTION_H
+#define SCHEDFILTER_TOOLS_JOBSOPTION_H
+
+#include "support/CommandLine.h"
+
+#include <cctype>
+#include <iostream>
+#include <optional>
+
+namespace schedfilter {
+
+/// Resolves --jobs (default 1).  Accepts only a decimal integer in
+/// [1, 4096] (the cap bounds thread explosions and guards overflow);
+/// anything else -- 0, negative values, trailing junk, or an
+/// over-the-cap count -- prints an error naming the accepted range and
+/// returns nullopt so the caller can exit non-zero (a mistyped value
+/// must never silently fall back to serial).
+inline std::optional<unsigned> parseJobsOption(const CommandLine &CL) {
+  constexpr unsigned long MaxJobs = 4096;
+  std::string Value = CL.get("jobs", "1");
+  bool Valid = !Value.empty();
+  unsigned long Jobs = 0;
+  for (char C : Value) {
+    if (!std::isdigit(static_cast<unsigned char>(C))) {
+      Valid = false;
+      break;
+    }
+    Jobs = Jobs * 10 + static_cast<unsigned long>(C - '0');
+    if (Jobs > MaxJobs) {
+      Valid = false;
+      break;
+    }
+  }
+  if (!Valid || Jobs == 0) {
+    std::cerr << "error: --jobs expects an integer in [1, " << MaxJobs
+              << "] (got '" << Value << "')\n";
+    return std::nullopt;
+  }
+  return static_cast<unsigned>(Jobs);
+}
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_TOOLS_JOBSOPTION_H

@@ -7,15 +7,19 @@
 //
 // Usage:
 //   sf-report [--suite specjvm98|fp] [--model ppc7410|ppc970|simple-scalar]
-//             [--fig4-holdout NAME]
+//             [--fig4-holdout NAME] [--jobs N]
+//
+// --jobs N fans the tracing and the threshold sweep out over N workers;
+// the printed numbers are bit-for-bit identical at any N.
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiments.h"
+#include "harness/ParallelExperiments.h"
 #include "harness/TableRender.h"
 #include "ml/Ripper.h"
 #include "support/CommandLine.h"
 
+#include "JobsOption.h"
 #include "ModelOption.h"
 
 #include <iostream>
@@ -39,13 +43,18 @@ int main(int argc, char **argv) {
   std::optional<MachineModel> Model = parseModelOption(CL);
   if (!Model)
     return 1;
+  std::optional<unsigned> Jobs = parseJobsOption(CL);
+  if (!Jobs)
+    return 1;
+  ExperimentEngine Engine(*Jobs);
 
   std::cerr << "tracing " << Suite.size() << " benchmarks on "
-            << Model->getName() << "...\n";
-  std::vector<BenchmarkRun> Runs = generateSuiteData(Suite, *Model);
+            << Model->getName() << " (" << *Jobs << " job"
+            << (*Jobs == 1 ? "" : "s") << ")...\n";
+  std::vector<BenchmarkRun> Runs = Engine.generateSuiteData(Suite, *Model);
   std::cerr << "running the threshold sweep (11 x LOOCV RIPPER)...\n";
   std::vector<ThresholdResult> Sweep =
-      runThresholdSweep(Runs, paperThresholds(), ripperLearner());
+      Engine.runThresholdSweep(Runs, paperThresholds(), ripperLearner());
 
   renderTable3(Sweep, std::cout);
   std::cout << '\n';
@@ -66,7 +75,7 @@ int main(int argc, char **argv) {
 
   // Figure 4: train on all but one benchmark at t = 0.
   std::string Holdout = CL.get("fig4-holdout", Suite.back().Name);
-  std::vector<Dataset> Labeled = labelSuite(Runs, 0.0);
+  std::vector<Dataset> Labeled = Engine.labelSuite(Runs, 0.0);
   Dataset Train("all-minus-" + Holdout);
   for (const Dataset &D : Labeled)
     if (D.getName() != Holdout)

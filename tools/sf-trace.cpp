@@ -7,15 +7,16 @@
 //
 // Usage:
 //   sf-trace --benchmark mpegaudio [--model ppc7410|ppc970|simple-scalar]
-//            [--out FILE]
+//            [--out FILE] [--jobs N]
 //   sf-trace --list
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiments.h"
+#include "harness/ParallelExperiments.h"
 #include "harness/TraceFile.h"
 #include "support/CommandLine.h"
 
+#include "JobsOption.h"
 #include "ModelOption.h"
 
 #include <fstream>
@@ -25,7 +26,8 @@ using namespace schedfilter;
 
 static int usage() {
   std::cerr << "usage: sf-trace --benchmark NAME"
-               " [--model ppc7410|ppc970|simple-scalar] [--out FILE]\n"
+               " [--model ppc7410|ppc970|simple-scalar] [--out FILE]"
+               " [--jobs N]\n"
                "       sf-trace --list\n";
   return 1;
 }
@@ -53,8 +55,12 @@ int main(int argc, char **argv) {
   std::optional<MachineModel> Model = parseModelOption(CL);
   if (!Model)
     return 1;
+  std::optional<unsigned> Jobs = parseJobsOption(CL);
+  if (!Jobs)
+    return 1;
 
-  std::vector<BenchmarkRun> Runs = generateSuiteData({*Spec}, *Model);
+  ExperimentEngine Engine(*Jobs);
+  std::vector<BenchmarkRun> Runs = Engine.generateSuiteData({*Spec}, *Model);
   const std::vector<BlockRecord> &Records = Runs[0].Records;
 
   std::string Out = CL.get("out");

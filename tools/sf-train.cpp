@@ -8,6 +8,10 @@
 // Usage:
 //   sf-train TRACE.csv [TRACE2.csv ...] [--threshold T]
 //            [--learner ripper|tree|oner|stump] [--out RULES.txt]
+//            [--jobs N]
+//
+// --jobs N reads and labels the traces on N workers; traces are merged in
+// command-line order, so the induced filter is identical at any N.
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +22,9 @@
 #include "ml/Ripper.h"
 #include "ml/Serialization.h"
 #include "support/CommandLine.h"
+#include "support/TaskPool.h"
+
+#include "JobsOption.h"
 
 #include <fstream>
 #include <iostream>
@@ -27,7 +34,7 @@ using namespace schedfilter;
 static int usage() {
   std::cerr << "usage: sf-train TRACE.csv [TRACE2.csv ...] [--threshold T]\n"
                "                [--learner ripper|tree|oner|stump]"
-               " [--out RULES.txt]\n";
+               " [--out RULES.txt] [--jobs N]\n";
   return 1;
 }
 
@@ -38,22 +45,41 @@ int main(int argc, char **argv) {
 
   double Threshold = CL.getDouble("threshold", 0.0);
   std::string LearnerName = CL.get("learner", "ripper");
+  std::optional<unsigned> Jobs = parseJobsOption(CL);
+  if (!Jobs)
+    return 1;
 
-  Dataset Train("train");
-  size_t TotalBlocks = 0;
-  for (const std::string &Path : CL.positional()) {
-    std::ifstream IS(Path);
+  // Read and label each trace on the pool; merge in command-line order so
+  // the training set (and thus the filter) is identical at any job count.
+  const std::vector<std::string> &Paths = CL.positional();
+  std::vector<Dataset> Labeled(Paths.size());
+  std::vector<size_t> BlockCounts(Paths.size(), 0);
+  std::vector<std::string> Errors(Paths.size());
+  TaskPool Pool(*Jobs);
+  Pool.parallelFor(Paths.size(), [&](size_t I) {
+    std::ifstream IS(Paths[I]);
     if (!IS) {
-      std::cerr << "error: cannot open trace '" << Path << "'\n";
-      return 1;
+      Errors[I] = "error: cannot open trace '" + Paths[I] + "'";
+      return;
     }
     std::optional<std::vector<BlockRecord>> Records = readTrace(IS);
     if (!Records) {
-      std::cerr << "error: malformed trace '" << Path << "'\n";
+      Errors[I] = "error: malformed trace '" + Paths[I] + "'";
+      return;
+    }
+    BlockCounts[I] = Records->size();
+    Labeled[I] = buildDataset(*Records, Threshold, Paths[I]);
+  });
+
+  Dataset Train("train");
+  size_t TotalBlocks = 0;
+  for (size_t I = 0; I != Paths.size(); ++I) {
+    if (!Errors[I].empty()) {
+      std::cerr << Errors[I] << '\n';
       return 1;
     }
-    TotalBlocks += Records->size();
-    Train.append(buildDataset(*Records, Threshold, Path));
+    TotalBlocks += BlockCounts[I];
+    Train.append(Labeled[I]);
   }
 
   std::cerr << "labeled " << Train.size() << " of " << TotalBlocks
