@@ -26,7 +26,7 @@
 #include "support/TablePrinter.h"
 #include "support/CommandLine.h"
 
-#include "JobsOption.h"
+#include "EngineOption.h"
 
 #include <iostream>
 
@@ -64,10 +64,10 @@ Dataset labelVariant(const BenchmarkRun &Run, double T, BandHandling H) {
 
 int main(int argc, char **argv) {
   CommandLine CL(argc, argv);
-  std::optional<unsigned> Jobs = parseJobsOption(CL);
-  if (!Jobs)
+  std::optional<EngineHandle> Handle = parseEngineOptions(CL);
+  if (!Handle)
     return 1;
-  ExperimentEngine Engine(*Jobs);
+  ExperimentEngine &Engine = **Handle;
 
   const double T = 20.0;
   MachineModel Model = MachineModel::ppc7410();

@@ -19,7 +19,7 @@
 #include "support/TablePrinter.h"
 #include "support/CommandLine.h"
 
-#include "JobsOption.h"
+#include "EngineOption.h"
 
 #include <iostream>
 
@@ -61,10 +61,10 @@ void evaluate(const std::vector<BenchmarkRun> &Suite,
 
 int main(int argc, char **argv) {
   CommandLine CL(argc, argv);
-  std::optional<unsigned> Jobs = parseJobsOption(CL);
-  if (!Jobs)
+  std::optional<EngineHandle> Handle = parseEngineOptions(CL);
+  if (!Handle)
     return 1;
-  ExperimentEngine Engine(*Jobs);
+  ExperimentEngine &Engine = **Handle;
 
   MachineModel Model = MachineModel::ppc7410();
   // Labels and filters come from the CPS scheduler only.

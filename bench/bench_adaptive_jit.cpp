@@ -20,7 +20,7 @@
 #include "support/TablePrinter.h"
 #include "support/CommandLine.h"
 
-#include "JobsOption.h"
+#include "EngineOption.h"
 
 #include <iostream>
 
@@ -28,10 +28,10 @@ using namespace schedfilter;
 
 int main(int argc, char **argv) {
   CommandLine CL(argc, argv);
-  std::optional<unsigned> Jobs = parseJobsOption(CL);
-  if (!Jobs)
+  std::optional<EngineHandle> Handle = parseEngineOptions(CL);
+  if (!Handle)
     return 1;
-  ExperimentEngine Engine(*Jobs);
+  ExperimentEngine &Engine = **Handle;
 
   MachineModel Model = MachineModel::ppc7410();
   std::vector<BenchmarkRun> Suite =

@@ -12,7 +12,7 @@
 #include "support/TablePrinter.h"
 #include "support/CommandLine.h"
 
-#include "JobsOption.h"
+#include "EngineOption.h"
 
 #include <iostream>
 
@@ -45,10 +45,10 @@ static void printSuite(ExperimentEngine &Engine, const char *Title,
 
 int main(int argc, char **argv) {
   CommandLine CL(argc, argv);
-  std::optional<unsigned> Jobs = parseJobsOption(CL);
-  if (!Jobs)
+  std::optional<EngineHandle> Handle = parseEngineOptions(CL);
+  if (!Handle)
     return 1;
-  ExperimentEngine Engine(*Jobs);
+  ExperimentEngine &Engine = **Handle;
 
   printSuite(Engine, "Table 2: SPECjvm98 benchmark stand-ins",
              specjvm98Suite());

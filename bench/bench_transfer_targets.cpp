@@ -20,7 +20,7 @@
 #include "support/TablePrinter.h"
 #include "support/CommandLine.h"
 
-#include "JobsOption.h"
+#include "EngineOption.h"
 
 #include <iostream>
 
@@ -74,10 +74,10 @@ void evaluateTransfer(const TargetData &Train, const TargetData &Deploy,
 
 int main(int argc, char **argv) {
   CommandLine CL(argc, argv);
-  std::optional<unsigned> Jobs = parseJobsOption(CL);
-  if (!Jobs)
+  std::optional<EngineHandle> Handle = parseEngineOptions(CL);
+  if (!Handle)
     return 1;
-  ExperimentEngine Engine(*Jobs);
+  ExperimentEngine &Engine = **Handle;
 
   TargetData G4 = prepare(Engine, MachineModel::ppc7410());
   TargetData G5 = prepare(Engine, MachineModel::ppc970());

@@ -20,6 +20,18 @@
 
 namespace schedfilter {
 
+/// Version of the tracing pipeline *downstream* of the program
+/// generator, the other half of the corpus-cache key
+/// (io/CorpusCache.h).  A cached record is
+/// f(program, ListScheduler, BlockSimulator, MachineModel tables), so
+/// this MUST be bumped by any change that alters traced costs or
+/// fixed-policy compile reports for some block -- scheduler priority or
+/// tie-breaking tweaks, simulator scoreboard changes, latency/issue
+/// table edits -- or warm caches will keep serving records computed by
+/// the old code.  GeneratorVersion (workloads/ProgramGenerator.h)
+/// covers the program-synthesis half.
+constexpr uint32_t TracePipelineVersion = 1;
+
 /// One benchmark, fully instrumented: its program, the raw per-block
 /// records (the paper's trace file), and its two fixed-policy compile
 /// reports.

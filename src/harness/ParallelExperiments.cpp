@@ -13,18 +13,15 @@ using namespace schedfilter;
 namespace {
 
 /// The §2.2 instrumented-scheduler pass plus the two fixed-policy compile
-/// reports for one benchmark.  All per-block work reuses \p Ctx, so this
-/// is the allocation-free steady state the SchedContext refactor bought;
-/// a pure function of (Spec, Model) -- safe at any parallelism.
-BenchmarkRun runOneBenchmark(const BenchmarkSpec &Spec,
-                             const MachineModel &Model, SchedContext &Ctx) {
+/// reports for one benchmark; fills \p Run.Records and the reports from
+/// the already-generated Run.Prog.  All per-block work reuses \p Ctx, so
+/// this is the allocation-free steady state the SchedContext refactor
+/// bought; a pure function of (Run.Prog, Model) -- safe at any
+/// parallelism.
+void traceBenchmark(BenchmarkRun &Run, const MachineModel &Model,
+                    SchedContext &Ctx) {
   ListScheduler Scheduler(Model);
   BlockSimulator Sim(Model);
-
-  BenchmarkRun Run;
-  Run.Name = Spec.Name;
-  Run.ModelName = Model.getName();
-  Run.Prog = ProgramGenerator(Spec).generate();
 
   // For every block, record its features and its simulated cost with and
   // without list scheduling.
@@ -43,7 +40,6 @@ BenchmarkRun runOneBenchmark(const BenchmarkSpec &Spec,
       compileProgram(Run.Prog, Model, SchedulingPolicy::Never, nullptr, Ctx);
   Run.AlwaysReport =
       compileProgram(Run.Prog, Model, SchedulingPolicy::Always, nullptr, Ctx);
-  return Run;
 }
 
 /// Everything runThreshold measures for one held-out benchmark.
@@ -110,8 +106,36 @@ ExperimentEngine::generateSuiteData(const std::vector<BenchmarkSpec> &Suite,
                                     const MachineModel &Model) {
   std::vector<BenchmarkRun> Runs(Suite.size());
   Pool.parallelFor(Suite.size(), [&](size_t I) {
+    const BenchmarkSpec &Spec = Suite[I];
+    BenchmarkRun Run;
+    Run.Name = Spec.Name;
+    Run.ModelName = Model.getName();
+    // The program is always regenerated (it is not cached; downstream
+    // evaluation recompiles it under induced filters) -- and its block
+    // count is handed to load() as an extra integrity check, so a stale
+    // entry that somehow survived the versioned key is invalidated, not
+    // believed.
+    Run.Prog = ProgramGenerator(Spec).generate();
+
+    CorpusKey Key{Spec.Name, Model.getName(), GeneratorVersion,
+                  TracePipelineVersion, specFingerprint(Spec)};
+    if (Cache) {
+      if (std::optional<CachedRun> Hit =
+              Cache->load(Key, Run.Prog.totalBlocks())) {
+        Run.Records = std::move(Hit->Records);
+        Run.NeverReport = Hit->NeverReport;
+        Run.AlwaysReport = Hit->AlwaysReport;
+        Runs[I] = std::move(Run);
+        return;
+      }
+    }
+
     SchedContext Ctx;
-    Runs[I] = runOneBenchmark(Suite[I], Model, Ctx);
+    traceBenchmark(Run, Model, Ctx);
+    TracedBlocks.fetch_add(Run.Records.size());
+    if (Cache)
+      Cache->store(Key, Run.Records, Run.NeverReport, Run.AlwaysReport);
+    Runs[I] = std::move(Run);
   });
   return Runs;
 }

@@ -27,7 +27,10 @@
 #define SCHEDFILTER_HARNESS_PARALLELEXPERIMENTS_H
 
 #include "harness/Experiments.h"
+#include "io/CorpusCache.h"
 #include "support/TaskPool.h"
+
+#include <atomic>
 
 namespace schedfilter {
 
@@ -39,6 +42,23 @@ public:
 
   unsigned jobs() const { return Pool.jobs(); }
   TaskPool &pool() { return Pool; }
+
+  /// Attaches an on-disk corpus cache (not owned; may be null to detach).
+  /// With a cache attached, generateSuiteData loads each benchmark's
+  /// records and fixed-policy reports from disk when a valid entry exists
+  /// -- bit-identical to retracing, including at any job count -- and
+  /// populates the cache when one does not.  Tracing is a pure function
+  /// of the cache key (benchmark, model, GeneratorVersion,
+  /// TracePipelineVersion, spec fingerprint), which is what makes
+  /// serving cached records sound -- provided the versions are bumped
+  /// with the code they stand for (see their doc comments).
+  void setCorpusCache(CorpusCache *C) { Cache = C; }
+  CorpusCache *corpusCache() const { return Cache; }
+
+  /// Blocks actually traced (scheduled + simulated) by this engine's
+  /// generateSuiteData calls.  A warm-cache suite run adds zero -- the
+  /// counter the cache tests pin this guarantee with.
+  uint64_t tracedBlocks() const { return TracedBlocks.load(); }
 
   /// Parallel-by-benchmark counterpart of schedfilter::generateSuiteData.
   std::vector<BenchmarkRun>
@@ -64,6 +84,8 @@ public:
 
 private:
   TaskPool Pool;
+  CorpusCache *Cache = nullptr;
+  std::atomic<uint64_t> TracedBlocks{0};
 };
 
 } // namespace schedfilter

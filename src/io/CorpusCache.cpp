@@ -1,0 +1,233 @@
+//===- io/CorpusCache.cpp - On-disk corpus of traced benchmarks -------------===//
+
+#include "io/CorpusCache.h"
+
+#include "io/TraceStore.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include <unistd.h>
+
+using namespace schedfilter;
+
+namespace {
+
+const char EntryMagicLine[] = "SFCC1"; ///< entry files start "SFCC1\n"
+
+/// Benchmark/model names are short identifiers, but never trust them as
+/// path components: keep [A-Za-z0-9._-], replace the rest.
+std::string sanitize(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    bool Safe = std::isalnum(static_cast<unsigned char>(C)) || C == '.' ||
+                C == '_' || C == '-';
+    Out.push_back(Safe ? C : '_');
+  }
+  return Out.empty() ? "unnamed" : Out;
+}
+
+std::string hex64(uint64_t V) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out(16, '0');
+  for (int I = 15; I >= 0; --I, V >>= 4)
+    Out[static_cast<size_t>(I)] = Digits[V & 0xf];
+  return Out;
+}
+
+void putReport(std::string &Out, const CompileReport &R) {
+  wire::putU32(Out, static_cast<uint32_t>(R.Policy));
+  wire::putU64(Out, R.NumBlocks);
+  wire::putU64(Out, R.NumScheduled);
+  wire::putF64(Out, R.SchedulingSeconds);
+  wire::putU64(Out, R.SchedulingWork);
+  wire::putU64(Out, R.FilterWork);
+  wire::putF64(Out, R.SimulatedTime);
+}
+
+bool getReport(const char *&P, const char *End, CompileReport &R) {
+  uint32_t Policy;
+  if (!wire::getU32(P, End, Policy) || Policy > 2)
+    return false;
+  R.Policy = static_cast<SchedulingPolicy>(Policy);
+  return wire::getU64(P, End, R.NumBlocks) &&
+         wire::getU64(P, End, R.NumScheduled) &&
+         wire::getF64(P, End, R.SchedulingSeconds) &&
+         wire::getU64(P, End, R.SchedulingWork) &&
+         wire::getU64(P, End, R.FilterWork) &&
+         wire::getF64(P, End, R.SimulatedTime);
+}
+
+} // namespace
+
+CorpusCache::CorpusCache(std::string Directory) : Dir(std::move(Directory)) {}
+
+std::string CorpusCache::entryPath(const CorpusKey &K) const {
+  return Dir + "/" + sanitize(K.Benchmark) + "__" + sanitize(K.Model) +
+         "__g" + std::to_string(K.GeneratorVersion) + "p" +
+         std::to_string(K.PipelineVersion) + "__" +
+         hex64(K.SpecFingerprint) + ".sfcc";
+}
+
+std::optional<CachedRun>
+CorpusCache::load(const CorpusKey &K,
+                  std::optional<uint64_t> ExpectedRecords) {
+  std::ifstream IS(entryPath(K), std::ios::binary);
+  if (!IS) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++S.Misses;
+    return std::nullopt;
+  }
+
+  auto Invalid = [&]() -> std::optional<CachedRun> {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++S.Misses;
+    ++S.InvalidEntries;
+    return std::nullopt;
+  };
+
+  std::string Bytes((std::istreambuf_iterator<char>(IS)),
+                    std::istreambuf_iterator<char>());
+  const char *P = Bytes.data();
+  const char *End = P + Bytes.size();
+
+  // Magic line.
+  const size_t MagicLen = sizeof(EntryMagicLine); // includes the '\n' slot
+  if (Bytes.size() < MagicLen ||
+      Bytes.compare(0, MagicLen - 1, EntryMagicLine) != 0 ||
+      Bytes[MagicLen - 1] != '\n')
+    return Invalid();
+  P += MagicLen;
+
+  // Whole-body checksum: everything after this field -- key, reports and
+  // records alike.  A flipped bit in the report block must be as fatal
+  // as one in the payload.
+  uint64_t Checksum;
+  if (!wire::getU64(P, End, Checksum) ||
+      wire::fnv1a(P, static_cast<size_t>(End - P)) != Checksum)
+    return Invalid();
+
+  // Header: the full key, embedded and verified -- an entry renamed onto
+  // another key must not be believed.
+  uint16_t FeatCount;
+  uint32_t GenVersion, PipeVersion;
+  uint64_t Fingerprint;
+  std::string Bench, Model;
+  if (!wire::getU16(P, End, FeatCount) || FeatCount != NumFeatures ||
+      !wire::getU32(P, End, GenVersion) ||
+      !wire::getU32(P, End, PipeVersion) ||
+      !wire::getU64(P, End, Fingerprint) ||
+      !wire::getString(P, End, Bench) || !wire::getString(P, End, Model))
+    return Invalid();
+  if (GenVersion != K.GeneratorVersion ||
+      PipeVersion != K.PipelineVersion ||
+      Fingerprint != K.SpecFingerprint || Bench != K.Benchmark ||
+      Model != K.Model)
+    return Invalid();
+
+  CachedRun Run;
+  if (!getReport(P, End, Run.NeverReport) ||
+      !getReport(P, End, Run.AlwaysReport))
+    return Invalid();
+
+  uint64_t Count;
+  if (!wire::getU64(P, End, Count))
+    return Invalid();
+  if (ExpectedRecords && Count != *ExpectedRecords)
+    return Invalid();
+  const uint64_t RecordSize = NumFeatures * 8 + 24;
+  const uint64_t Avail = static_cast<uint64_t>(End - P);
+  if (Count > Avail / RecordSize || Count * RecordSize != Avail)
+    return Invalid();
+  ParseResult<std::vector<BlockRecord>> Records =
+      wire::decodeRecords(P, End, Count);
+  if (!Records)
+    return Invalid();
+  Run.Records = std::move(*Records);
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++S.Hits;
+  return Run;
+}
+
+bool CorpusCache::store(const CorpusKey &K,
+                        const std::vector<BlockRecord> &Records,
+                        const CompileReport &NeverReport,
+                        const CompileReport &AlwaysReport) {
+  auto Failed = [&]() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++S.StoreFailures;
+    return false;
+  };
+
+  std::string Body;
+  wire::putU16(Body, NumFeatures);
+  wire::putU32(Body, K.GeneratorVersion);
+  wire::putU32(Body, K.PipelineVersion);
+  wire::putU64(Body, K.SpecFingerprint);
+  wire::putString(Body, K.Benchmark);
+  wire::putString(Body, K.Model);
+  putReport(Body, NeverReport);
+  putReport(Body, AlwaysReport);
+  wire::putU64(Body, Records.size());
+  Body += wire::encodeRecords(Records);
+
+  std::string Bytes(EntryMagicLine);
+  Bytes += '\n';
+  wire::putU64(Bytes, wire::fnv1a(Body.data(), Body.size()));
+  Bytes += Body;
+
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC); // best effort; open reports
+
+  // Unique temp name per process and store call, then an atomic rename:
+  // a concurrent reader sees the old entry or the new one, never a torn
+  // file.
+  static std::atomic<uint64_t> StoreSerial{0};
+  std::string Path = entryPath(K);
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(StoreSerial.fetch_add(1));
+  {
+    std::ofstream OS(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OS)
+      return Failed();
+    OS.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    OS.flush();
+    if (!OS) {
+      OS.close();
+      std::filesystem::remove(Tmp, EC);
+      return Failed();
+    }
+  }
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC) {
+    std::filesystem::remove(Tmp, EC);
+    return Failed();
+  }
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++S.Stores;
+  return true;
+}
+
+CorpusCache::Stats CorpusCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return S;
+}
+
+std::string CorpusCache::defaultDirectory() {
+  if (const char *E = std::getenv("SCHEDFILTER_CORPUS_DIR"))
+    return E; // empty value = explicitly disabled
+  if (const char *X = std::getenv("XDG_CACHE_HOME"))
+    if (*X)
+      return std::string(X) + "/schedfilter/corpus";
+  if (const char *H = std::getenv("HOME"))
+    if (*H)
+      return std::string(H) + "/.cache/schedfilter/corpus";
+  return "";
+}

@@ -1,0 +1,69 @@
+//===- io/ParseResult.h - Diagnostic-carrying parse results -----*- C++ -*-===//
+///
+/// \file
+/// The result type every artifact parser in this repository returns.  A
+/// ParseResult<T> is either the parsed value or a ParseError locating the
+/// problem, so tools can report "trace.csv:42: costSched cell '7154.5' is
+/// not an unsigned integer" instead of a bare "malformed input".
+///
+/// The accessors mirror std::optional (has_value / operator bool /
+/// operator* / operator->), which keeps call sites that only care about
+/// success unchanged; callers that report failures add .error().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_IO_PARSERESULT_H
+#define SCHEDFILTER_IO_PARSERESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace schedfilter {
+
+/// Where and why a parse failed.
+struct ParseError {
+  /// 1-based line number for text formats, 1-based record ordinal for
+  /// binary payload errors, 0 when the error is not positional (empty
+  /// file, bad magic, bad checksum).
+  size_t Line = 0;
+  std::string Message;
+
+  /// "line 42: <message>" when positional, else just the message.
+  std::string str() const {
+    if (Line == 0)
+      return Message;
+    return "line " + std::to_string(Line) + ": " + Message;
+  }
+};
+
+/// Either a parsed T or a ParseError; never both, never neither.
+template <typename T> class ParseResult {
+public:
+  ParseResult(T Value) : Value(std::move(Value)) {}
+  ParseResult(ParseError E) : Err(std::move(E)) {}
+
+  bool has_value() const { return Value.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  T &operator*() { return *Value; }
+  const T &operator*() const { return *Value; }
+  T *operator->() { return &*Value; }
+  const T *operator->() const { return &*Value; }
+  T &value() { return *Value; }
+  const T &value() const { return *Value; }
+
+  const ParseError &error() const {
+    assert(Err && "error() on a successful ParseResult");
+    return *Err;
+  }
+
+private:
+  std::optional<T> Value;
+  std::optional<ParseError> Err;
+};
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_IO_PARSERESULT_H

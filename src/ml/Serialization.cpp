@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -56,69 +57,95 @@ std::optional<Label> parseLabel(const std::string &S) {
   return std::nullopt;
 }
 
-std::optional<Condition> parseCondition(const std::string &Text) {
+/// Parses one "<feature> <= <value>" condition; on failure \p Why says
+/// what was wrong with \p Text.
+std::optional<Condition> parseCondition(const std::string &Text,
+                                        std::string &Why) {
   size_t OpPos = Text.find("<=");
   bool IsLE = true;
   if (OpPos == std::string::npos) {
     OpPos = Text.find(">=");
     IsLE = false;
   }
-  if (OpPos == std::string::npos)
+  if (OpPos == std::string::npos) {
+    Why = "condition '" + Text + "' has no '<=' or '>=' operator";
     return std::nullopt;
+  }
   std::string FeatName = trim(Text.substr(0, OpPos));
   std::string ValText = trim(Text.substr(OpPos + 2));
   unsigned Feature = findFeatureByName(FeatName);
-  if (Feature == NumFeatures || ValText.empty())
+  if (Feature == NumFeatures) {
+    Why = "unknown feature '" + FeatName + "'";
     return std::nullopt;
+  }
+  if (ValText.empty()) {
+    Why = "condition on '" + FeatName + "' is missing its threshold";
+    return std::nullopt;
+  }
   char *End = nullptr;
   double Threshold = std::strtod(ValText.c_str(), &End);
-  if (End != ValText.c_str() + ValText.size())
+  if (End != ValText.c_str() + ValText.size()) {
+    Why = "threshold '" + ValText + "' is not a number";
     return std::nullopt;
+  }
   return Condition{Feature, IsLE, Threshold};
 }
 
 } // namespace
 
-std::optional<RuleSet> schedfilter::readRuleSet(std::istream &IS) {
+ParseResult<RuleSet> schedfilter::readRuleSet(std::istream &IS) {
   std::string Line;
+  size_t LineNo = 0;
+
   if (!std::getline(IS, Line) || trim(Line) != "schedfilter-rules v1")
-    return std::nullopt;
+    return ParseError{1, "expected the header 'schedfilter-rules v1'"};
+  ++LineNo;
+
   if (!std::getline(IS, Line))
-    return std::nullopt;
+    return ParseError{2, "missing 'default LS|NS' line"};
+  ++LineNo;
   std::string DefaultLine = trim(Line);
-  if (DefaultLine.rfind("default ", 0) != 0)
-    return std::nullopt;
-  std::optional<Label> Default = parseLabel(trim(DefaultLine.substr(8)));
+  std::optional<Label> Default;
+  if (DefaultLine.rfind("default ", 0) == 0)
+    Default = parseLabel(trim(DefaultLine.substr(8)));
   if (!Default)
-    return std::nullopt;
+    return ParseError{LineNo,
+                      "expected 'default LS' or 'default NS', got '" +
+                          DefaultLine + "'"};
 
   RuleSet RS(*Default);
   while (std::getline(IS, Line)) {
+    ++LineNo;
     std::string T = trim(Line);
     if (T.empty() || T[0] == '#')
       continue;
     if (T.rfind("rule ", 0) != 0)
-      return std::nullopt;
+      return ParseError{LineNo, "expected a 'rule LS|NS :- ...' line, got '" +
+                                    T + "'"};
     size_t Sep = T.find(" :- ");
     if (Sep == std::string::npos)
-      return std::nullopt;
+      return ParseError{LineNo, "rule line has no ' :- ' separator"};
     std::optional<Label> Concl = parseLabel(trim(T.substr(5, Sep - 5)));
     if (!Concl)
-      return std::nullopt;
+      return ParseError{LineNo, "rule conclusion '" +
+                                    trim(T.substr(5, Sep - 5)) +
+                                    "' is not LS or NS"};
     Rule R;
     R.Conclusion = *Concl;
     std::string Body = trim(T.substr(Sep + 4));
     if (Body != "true") {
       std::stringstream SS(Body);
       std::string Part;
+      std::string Why;
       while (std::getline(SS, Part, ',')) {
-        std::optional<Condition> C = parseCondition(trim(Part));
+        std::optional<Condition> C = parseCondition(trim(Part), Why);
         if (!C)
-          return std::nullopt;
+          return ParseError{LineNo, Why};
         R.Conditions.push_back(*C);
       }
       if (R.Conditions.empty())
-        return std::nullopt;
+        return ParseError{LineNo, "rule body is empty (use 'true' for a "
+                                  "match-all rule)"};
     }
     RS.addRule(std::move(R));
   }

@@ -12,27 +12,30 @@
 ///   rule LS :- bbLen >= 5, stores <= 0.1613
 ///
 /// Parsing is strict: unknown feature names, operators, or malformed
-/// lines fail (returning std::nullopt) rather than guessing.
+/// lines fail rather than guessing -- and the failure names the line and
+/// the reason (io/ParseResult.h), so a hand-edited rule file that stops
+/// loading tells its editor where to look.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCHEDFILTER_ML_SERIALIZATION_H
 #define SCHEDFILTER_ML_SERIALIZATION_H
 
+#include "io/ParseResult.h"
 #include "ml/Rule.h"
 
 #include <iosfwd>
-#include <optional>
 
 namespace schedfilter {
 
-/// Writes \p RS in the v1 text format.
+/// Writes \p RS in the v1 text format.  Thresholds are printed with
+/// %.17g, so every double round-trips bit-exactly.
 void writeRuleSet(const RuleSet &RS, std::ostream &OS);
 
-/// Parses the v1 text format; std::nullopt on any syntax error.  Coverage
-/// counts are not part of the format (they are training artifacts) and
-/// come back zeroed.
-std::optional<RuleSet> readRuleSet(std::istream &IS);
+/// Parses the v1 text format; a syntax error carries the 1-based line
+/// number and a specific message.  Coverage counts are not part of the
+/// format (they are training artifacts) and come back zeroed.
+ParseResult<RuleSet> readRuleSet(std::istream &IS);
 
 /// Looks up a feature index by its Table 1 name ("bbLen", "loads", ...);
 /// returns NumFeatures when unknown.

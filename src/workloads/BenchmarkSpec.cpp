@@ -2,7 +2,39 @@
 
 #include "workloads/BenchmarkSpec.h"
 
+#include "io/TraceStore.h"
+
 using namespace schedfilter;
+
+uint64_t schedfilter::specFingerprint(const BenchmarkSpec &S) {
+  // Canonical little-endian serialization of every generator input,
+  // hashed with the one FNV-1a implementation (io/TraceStore.h).
+  // Description is presentation-only and deliberately excluded.
+  std::string B;
+  wire::putString(B, S.Name);
+  wire::putU64(B, S.Seed);
+  wire::putU64(B, static_cast<uint64_t>(S.NumMethods));
+  wire::putU64(B, static_cast<uint64_t>(S.MinBlocksPerMethod));
+  wire::putU64(B, static_cast<uint64_t>(S.MaxBlocksPerMethod));
+  wire::putF64(B, S.StatementGeoP);
+  wire::putU64(B, static_cast<uint64_t>(S.MaxStatements));
+  wire::putF64(B, S.TrivialBlockProb);
+  wire::putF64(B, S.MeanExprOps);
+  wire::putU64(B, static_cast<uint64_t>(S.MaxExprOps));
+  wire::putF64(B, S.WIntExpr);
+  wire::putF64(B, S.WFloatExpr);
+  wire::putF64(B, S.WMemOp);
+  wire::putF64(B, S.WCall);
+  wire::putF64(B, S.WSystem);
+  wire::putF64(B, S.LeafLoadProb);
+  wire::putF64(B, S.FloatDivProb);
+  wire::putF64(B, S.PeiProb);
+  wire::putF64(B, S.YieldProb);
+  wire::putF64(B, S.SafepointProb);
+  wire::putF64(B, S.HotnessSkew);
+  wire::putU64(B, S.MaxExec);
+  return wire::fnv1a(B.data(), B.size());
+}
 
 namespace {
 

@@ -77,6 +77,15 @@ struct BenchmarkSpec {
   uint64_t MaxExec = 100000;
 };
 
+/// A stable 64-bit hash over every field of \p S (doubles hashed by bit
+/// pattern).  Part of the corpus-cache key (io/CorpusCache.h): any edited
+/// spec -- a shrunken test suite, an ablation variant -- fingerprints
+/// differently from the stock benchmark of the same name, so cached
+/// traces can never be served for the wrong workload.  Extending
+/// BenchmarkSpec with a new field?  Hash it here, or stale cache entries
+/// will survive the change.
+uint64_t specFingerprint(const BenchmarkSpec &S);
+
 /// The seven SPECjvm98 stand-ins of Table 2: compress, jess, db, javac,
 /// mpegaudio, raytrace (mtrt), jack.
 std::vector<BenchmarkSpec> specjvm98Suite();

@@ -21,6 +21,14 @@
 
 namespace schedfilter {
 
+/// Version of the program-synthesis algorithm, part of the corpus-cache
+/// key (io/CorpusCache.h).  MUST be bumped by any change that alters what
+/// generate() emits for some spec -- new statement kinds, reordered Rng
+/// draws, changed expansion rules -- or warm caches will keep serving the
+/// old corpus.  Tracing is otherwise a pure function of
+/// (spec fingerprint, machine model, this constant).
+constexpr uint32_t GeneratorVersion = 1;
+
 /// Deterministic program synthesis from a benchmark profile.
 class ProgramGenerator {
 public:

@@ -11,8 +11,30 @@
 #include "mir/BasicBlock.h"
 #include "workloads/BenchmarkSpec.h"
 
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
 namespace schedfilter {
 namespace test {
+
+/// A fresh, empty scratch directory per test, removed on scope exit --
+/// RAII, so an early ASSERT return cannot leak it.
+struct TempCacheDir {
+  std::filesystem::path Path;
+  explicit TempCacheDir(const std::string &Tag) {
+    Path = std::filesystem::temp_directory_path() /
+           ("schedfilter-" + Tag + "-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~TempCacheDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+  std::string str() const { return Path.string(); }
+};
 
 /// Two independent float multiply trees feeding an add and a store, in
 /// naive (depth-first) order: the canonical block that benefits from

@@ -10,9 +10,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "harness/ParallelExperiments.h"
+#include "io/TraceStore.h"
 #include "support/Statistics.h"
 
+#include "TestHelpers.h"
+
 #include <gtest/gtest.h>
+
+#include <sstream>
 
 using namespace schedfilter;
 
@@ -101,6 +106,63 @@ TEST(Golden, HeadlineNumbersIdenticalAtJobsFour) {
   ASSERT_EQ(R.Filters.size(), S.Filters.size());
   for (size_t I = 0; I != R.Filters.size(); ++I)
     EXPECT_EQ(R.Filters[I].toString(), S.Filters[I].toString());
+}
+
+TEST(Golden, Table5IdenticalFromEveryArtifactSource) {
+  // The acceptance bit-identity guarantee: the Table 5 counts (1673 LS /
+  // 7154 NS at t = 0) must be reproduced exactly whether the records
+  // come straight from the generator, from a CSV trace, from an SFTB1
+  // binary trace, or from a warm corpus cache.
+  const std::vector<BenchmarkRun> &Suite = fullSuite();
+
+  auto CountAt0 = [](const std::vector<BenchmarkRun> &Runs) {
+    std::pair<size_t, size_t> C{0, 0};
+    for (const Dataset &D : labelSuite(Runs, 0.0)) {
+      C.first += D.countLabel(Label::LS);
+      C.second += D.countLabel(Label::NS);
+    }
+    return C;
+  };
+  const std::pair<size_t, size_t> Golden{1673u, 7154u};
+  EXPECT_EQ(CountAt0(Suite), Golden);
+
+  // CSV and binary trace round trips, per benchmark, field-exact.
+  for (TraceFormat F : {TraceFormat::Csv, TraceFormat::Binary}) {
+    std::vector<BenchmarkRun> FromTrace = Suite; // shares Prog/reports
+    for (BenchmarkRun &Run : FromTrace) {
+      std::stringstream SS;
+      writeTrace(Run.Records, SS, F);
+      ParseResult<std::vector<BlockRecord>> Back = readTrace(SS);
+      ASSERT_TRUE(Back.has_value()) << Back.error().str();
+      ASSERT_EQ(Back->size(), Run.Records.size());
+      for (size_t I = 0; I != Run.Records.size(); ++I)
+        ASSERT_EQ(Run.Records[I].X, (*Back)[I].X);
+      Run.Records = std::move(*Back);
+    }
+    EXPECT_EQ(CountAt0(FromTrace), Golden);
+  }
+
+  // Warm corpus cache: seed it from the already-traced suite, reload
+  // through a fresh engine, and require zero retracing.
+  test::TempCacheDir Dir("golden");
+  CorpusCache Seed(Dir.str());
+  std::vector<BenchmarkSpec> Specs = specjvm98Suite();
+  ASSERT_EQ(Specs.size(), Suite.size());
+  for (size_t I = 0; I != Suite.size(); ++I) {
+    CorpusKey Key{Specs[I].Name, Suite[I].ModelName, GeneratorVersion,
+                  TracePipelineVersion, specFingerprint(Specs[I])};
+    ASSERT_TRUE(Seed.store(Key, Suite[I].Records, Suite[I].NeverReport,
+                           Suite[I].AlwaysReport));
+  }
+
+  CorpusCache Cache(Dir.str());
+  ExperimentEngine Warm(4);
+  Warm.setCorpusCache(&Cache);
+  std::vector<BenchmarkRun> FromCache =
+      Warm.generateSuiteData(Specs, MachineModel::ppc7410());
+  EXPECT_EQ(Warm.tracedBlocks(), 0u);
+  EXPECT_EQ(Cache.stats().Hits, Specs.size());
+  EXPECT_EQ(CountAt0(FromCache), Golden);
 }
 
 TEST(Golden, EffortCollapsesAtHighThreshold) {

@@ -124,7 +124,7 @@ TEST_P(SerializationProperty, RandomRuleSetsRoundTrip) {
 
   std::stringstream SS;
   writeRuleSet(RS, SS);
-  std::optional<RuleSet> Back = readRuleSet(SS);
+  ParseResult<RuleSet> Back = readRuleSet(SS);
   ASSERT_TRUE(Back.has_value());
   // Predictions must agree on random feature vectors.
   for (int I = 0; I != 100; ++I) {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 using namespace schedfilter;
@@ -33,7 +34,7 @@ TEST(Serialization, RoundTripPreservesSemantics) {
   RuleSet RS = sampleRuleSet();
   std::stringstream SS;
   writeRuleSet(RS, SS);
-  std::optional<RuleSet> Back = readRuleSet(SS);
+  ParseResult<RuleSet> Back = readRuleSet(SS);
   ASSERT_TRUE(Back.has_value());
   EXPECT_EQ(Back->getDefaultClass(), RS.getDefaultClass());
   ASSERT_EQ(Back->size(), RS.size());
@@ -60,10 +61,73 @@ TEST(Serialization, RoundTripExactThresholds) {
   RS.addRule(R);
   std::stringstream SS;
   writeRuleSet(RS, SS);
-  std::optional<RuleSet> Back = readRuleSet(SS);
+  ParseResult<RuleSet> Back = readRuleSet(SS);
   ASSERT_TRUE(Back.has_value());
   EXPECT_EQ(Back->rules()[0].Conditions[0].Threshold, 1.0 / 3.0);
   EXPECT_EQ(Back->rules()[0].Conditions[1].Threshold, 0.1 + 0.2);
+}
+
+TEST(Serialization, RoundTripExtremeThresholds) {
+  // The far corners of double territory a learner can plausibly emit
+  // (and a hand editor can type): denormals, the overflow boundary,
+  // negatives, and huge magnitudes must all survive %.17g bit-exactly.
+  const double Extremes[] = {
+      5e-324,                  // smallest denormal
+      2.2250738585072014e-308, // DBL_MIN
+      1.7976931348623157e308,  // DBL_MAX
+      -1.0 / 3.0,
+      1e-300,
+      123456789.12345679,
+      -0.0,
+  };
+  RuleSet RS(Label::NS);
+  Rule R;
+  R.Conclusion = Label::LS;
+  for (size_t I = 0; I != sizeof(Extremes) / sizeof(Extremes[0]); ++I)
+    R.Conditions.push_back(
+        {static_cast<unsigned>(I % NumFeatures), I % 2 == 0, Extremes[I]});
+  RS.addRule(R);
+  std::stringstream SS;
+  writeRuleSet(RS, SS);
+  ParseResult<RuleSet> Back = readRuleSet(SS);
+  ASSERT_TRUE(Back.has_value()) << Back.error().str();
+  const Rule &B = Back->rules()[0];
+  for (size_t I = 0; I != sizeof(Extremes) / sizeof(Extremes[0]); ++I) {
+    EXPECT_EQ(B.Conditions[I].Threshold, Extremes[I]) << "condition " << I;
+    EXPECT_EQ(std::signbit(B.Conditions[I].Threshold),
+              std::signbit(Extremes[I]))
+        << "condition " << I; // -0.0 must stay negative zero
+  }
+}
+
+TEST(Serialization, ErrorsCarryLineNumbers) {
+  {
+    std::stringstream SS("schedfilter-rules v1\n"
+                         "default NS\n"
+                         "rule LS :- bbLen >= 7\n"
+                         "rule LS :- frobs >= 7\n");
+    ParseResult<RuleSet> R = readRuleSet(SS);
+    ASSERT_FALSE(R.has_value());
+    EXPECT_EQ(R.error().Line, 4u);
+    EXPECT_NE(R.error().Message.find("frobs"), std::string::npos);
+  }
+  {
+    std::stringstream SS("schedfilter-rules v1\n"
+                         "default NS\n"
+                         "# comment\n"
+                         "\n"
+                         "rule LS :- bbLen >= seven\n");
+    ParseResult<RuleSet> R = readRuleSet(SS);
+    ASSERT_FALSE(R.has_value());
+    EXPECT_EQ(R.error().Line, 5u); // comments and blanks still count
+    EXPECT_NE(R.error().Message.find("seven"), std::string::npos);
+  }
+  {
+    std::stringstream SS("wrong v9\n");
+    ParseResult<RuleSet> R = readRuleSet(SS);
+    ASSERT_FALSE(R.has_value());
+    EXPECT_EQ(R.error().Line, 1u);
+  }
 }
 
 TEST(Serialization, EmptyAntecedentRoundTrips) {
@@ -73,7 +137,7 @@ TEST(Serialization, EmptyAntecedentRoundTrips) {
   RS.addRule(R);
   std::stringstream SS;
   writeRuleSet(RS, SS);
-  std::optional<RuleSet> Back = readRuleSet(SS);
+  ParseResult<RuleSet> Back = readRuleSet(SS);
   ASSERT_TRUE(Back.has_value());
   ASSERT_EQ(Back->size(), 1u);
   EXPECT_TRUE(Back->rules()[0].Conditions.empty());
@@ -83,7 +147,7 @@ TEST(Serialization, EmptyRuleSetRoundTrips) {
   RuleSet RS(Label::LS);
   std::stringstream SS;
   writeRuleSet(RS, SS);
-  std::optional<RuleSet> Back = readRuleSet(SS);
+  ParseResult<RuleSet> Back = readRuleSet(SS);
   ASSERT_TRUE(Back.has_value());
   EXPECT_EQ(Back->size(), 0u);
   EXPECT_EQ(Back->getDefaultClass(), Label::LS);
@@ -95,7 +159,7 @@ TEST(Serialization, CommentsAndBlankLinesIgnored) {
                        "\n"
                        "# hand-tuned afterwards\n"
                        "rule LS :- bbLen >= 7\n");
-  std::optional<RuleSet> RS = readRuleSet(SS);
+  ParseResult<RuleSet> RS = readRuleSet(SS);
   ASSERT_TRUE(RS.has_value());
   EXPECT_EQ(RS->size(), 1u);
 }
@@ -149,7 +213,7 @@ TEST(Serialization, TrainedFilterSurvivesRoundTrip) {
   RuleSet RS = Ripper().train(D);
   std::stringstream SS;
   writeRuleSet(RS, SS);
-  std::optional<RuleSet> Back = readRuleSet(SS);
+  ParseResult<RuleSet> Back = readRuleSet(SS);
   ASSERT_TRUE(Back.has_value());
   for (const Instance &I : D)
     EXPECT_EQ(RS.predict(I.X), Back->predict(I.X));

@@ -1,0 +1,54 @@
+//===- tools/EngineOption.h - Shared engine construction --------*- C++ -*-===//
+///
+/// \file
+/// One place for the sf-* tools and every suite-level bench driver to
+/// turn the shared command-line surface (--jobs, --corpus-dir,
+/// --no-cache) into a ready-to-use ExperimentEngine with its corpus
+/// cache attached.  Eighteen drivers construct an engine; a single
+/// helper keeps the option handling, the cache lifetime and the
+/// attachment order from drifting between them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_TOOLS_ENGINEOPTION_H
+#define SCHEDFILTER_TOOLS_ENGINEOPTION_H
+
+#include "harness/ParallelExperiments.h"
+
+#include "CorpusOption.h"
+#include "JobsOption.h"
+
+#include <memory>
+#include <optional>
+
+namespace schedfilter {
+
+/// An engine plus the corpus cache it borrows; keep the handle alive for
+/// as long as the engine runs.
+struct EngineHandle {
+  std::unique_ptr<CorpusCache> Cache; ///< null when caching is disabled
+  std::unique_ptr<ExperimentEngine> Engine;
+
+  ExperimentEngine &operator*() { return *Engine; }
+  ExperimentEngine *operator->() { return Engine.get(); }
+};
+
+/// Resolves --jobs/--corpus-dir/--no-cache and builds the engine.
+/// nullopt = invalid flags (an error was printed; exit non-zero).
+inline std::optional<EngineHandle> parseEngineOptions(const CommandLine &CL) {
+  std::optional<unsigned> Jobs = parseJobsOption(CL);
+  if (!Jobs)
+    return std::nullopt;
+  std::optional<std::unique_ptr<CorpusCache>> Cache = parseCorpusOption(CL);
+  if (!Cache)
+    return std::nullopt;
+  EngineHandle H;
+  H.Cache = std::move(*Cache);
+  H.Engine = std::make_unique<ExperimentEngine>(*Jobs);
+  H.Engine->setCorpusCache(H.Cache.get());
+  return H;
+}
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_TOOLS_ENGINEOPTION_H

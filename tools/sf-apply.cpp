@@ -43,9 +43,12 @@ int main(int argc, char **argv) {
     std::cerr << "error: cannot open rules '" << RulesPath << "'\n";
     return 1;
   }
-  std::optional<RuleSet> Rules = readRuleSet(IS);
+  ParseResult<RuleSet> Rules = readRuleSet(IS);
   if (!Rules) {
-    std::cerr << "error: malformed rule file '" << RulesPath << "'\n";
+    const ParseError &E = Rules.error();
+    std::cerr << "error: " << RulesPath
+              << (E.Line ? ":" + std::to_string(E.Line) : "") << ": "
+              << E.Message << '\n';
     return 1;
   }
 

@@ -7,10 +7,11 @@
 //
 // Usage:
 //   sf-report [--suite specjvm98|fp] [--model ppc7410|ppc970|simple-scalar]
-//             [--fig4-holdout NAME] [--jobs N]
+//             [--fig4-holdout NAME] [--jobs N] [--corpus-dir DIR | --no-cache]
 //
 // --jobs N fans the tracing and the threshold sweep out over N workers;
-// the printed numbers are bit-for-bit identical at any N.
+// the printed numbers are bit-for-bit identical at any N -- and whether
+// the suite was traced fresh or loaded from a warm corpus cache.
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,7 +20,7 @@
 #include "ml/Ripper.h"
 #include "support/CommandLine.h"
 
-#include "JobsOption.h"
+#include "EngineOption.h"
 #include "ModelOption.h"
 
 #include <iostream>
@@ -43,15 +44,23 @@ int main(int argc, char **argv) {
   std::optional<MachineModel> Model = parseModelOption(CL);
   if (!Model)
     return 1;
-  std::optional<unsigned> Jobs = parseJobsOption(CL);
-  if (!Jobs)
+  std::optional<EngineHandle> Handle = parseEngineOptions(CL);
+  if (!Handle)
     return 1;
-  ExperimentEngine Engine(*Jobs);
+  ExperimentEngine &Engine = **Handle;
 
-  std::cerr << "tracing " << Suite.size() << " benchmarks on "
-            << Model->getName() << " (" << *Jobs << " job"
-            << (*Jobs == 1 ? "" : "s") << ")...\n";
+  std::cerr << "preparing " << Suite.size() << " benchmarks on "
+            << Model->getName() << " (" << Engine.jobs() << " job"
+            << (Engine.jobs() == 1 ? "" : "s")
+            << "; tracing on cache miss)...\n";
   std::vector<BenchmarkRun> Runs = Engine.generateSuiteData(Suite, *Model);
+  if (CorpusCache *C = Engine.corpusCache()) {
+    CorpusCache::Stats St = C->stats();
+    std::cerr << "corpus cache: " << St.Hits << " hit"
+              << (St.Hits == 1 ? "" : "s") << ", " << St.Misses << " miss"
+              << (St.Misses == 1 ? "" : "es") << " (" << C->directory()
+              << ")\n";
+  }
   std::cerr << "running the threshold sweep (11 x LOOCV RIPPER)...\n";
   std::vector<ThresholdResult> Sweep =
       Engine.runThresholdSweep(Runs, paperThresholds(), ripperLearner());

@@ -1,22 +1,30 @@
 //===- tools/sf-trace.cpp - Emit an instrumented-scheduler trace ------------===//
 //
 // Generates one benchmark's program, runs the instrumented scheduler over
-// every block (§2.2), and writes the raw trace as CSV: per block, the
-// Table 1 features, the simulated cost without and with list scheduling,
-// and the profile weight.  The trace feeds sf-train.
+// every block (§2.2), and writes the raw trace: per block, the Table 1
+// features, the simulated cost without and with list scheduling, and the
+// profile weight.  The trace feeds sf-train.
+//
+// Two formats (io/TraceStore.h): CSV (human readable, the default) and
+// the SFTB1 binary interchange format; both round-trip records exactly
+// and every reader auto-detects.  With a warm corpus cache the records
+// are loaded instead of retraced.
 //
 // Usage:
 //   sf-trace --benchmark mpegaudio [--model ppc7410|ppc970|simple-scalar]
-//            [--out FILE] [--jobs N]
+//            [--out FILE] [--format csv|binary] [--jobs N]
+//            [--corpus-dir DIR | --no-cache]
 //   sf-trace --list
+//
+// --format defaults to csv, or binary when --out ends in ".sftb".
 //
 //===----------------------------------------------------------------------===//
 
 #include "harness/ParallelExperiments.h"
-#include "harness/TraceFile.h"
+#include "io/TraceStore.h"
 #include "support/CommandLine.h"
 
-#include "JobsOption.h"
+#include "EngineOption.h"
 #include "ModelOption.h"
 
 #include <fstream>
@@ -26,8 +34,9 @@ using namespace schedfilter;
 
 static int usage() {
   std::cerr << "usage: sf-trace --benchmark NAME"
-               " [--model ppc7410|ppc970|simple-scalar] [--out FILE]"
-               " [--jobs N]\n"
+               " [--model ppc7410|ppc970|simple-scalar] [--out FILE]\n"
+               "                [--format csv|binary] [--jobs N]"
+               " [--corpus-dir DIR | --no-cache]\n"
                "       sf-trace --list\n";
   return 1;
 }
@@ -55,25 +64,54 @@ int main(int argc, char **argv) {
   std::optional<MachineModel> Model = parseModelOption(CL);
   if (!Model)
     return 1;
-  std::optional<unsigned> Jobs = parseJobsOption(CL);
-  if (!Jobs)
+  std::optional<EngineHandle> Handle = parseEngineOptions(CL);
+  if (!Handle)
     return 1;
 
-  ExperimentEngine Engine(*Jobs);
+  std::string Out = CL.get("out");
+  std::string FormatName = CL.get("format");
+  TraceFormat Format = TraceFormat::Csv;
+  if (FormatName.empty()) {
+    if (Out.size() >= 5 && Out.compare(Out.size() - 5, 5, ".sftb") == 0)
+      Format = TraceFormat::Binary;
+  } else if (FormatName == "csv") {
+    Format = TraceFormat::Csv;
+  } else if (FormatName == "binary") {
+    Format = TraceFormat::Binary;
+  } else {
+    std::cerr << "error: --format expects 'csv' or 'binary' (got '"
+              << FormatName << "')\n";
+    return 1;
+  }
+
+  ExperimentEngine &Engine = **Handle;
   std::vector<BenchmarkRun> Runs = Engine.generateSuiteData({*Spec}, *Model);
   const std::vector<BlockRecord> &Records = Runs[0].Records;
 
-  std::string Out = CL.get("out");
+  // A trace that was silently cut short by a full disk poisons every
+  // downstream training run, so both sinks are flushed and checked.
   if (Out.empty()) {
-    writeTrace(Records, std::cout);
+    writeTrace(Records, std::cout, Format);
+    std::cout.flush();
+    if (!std::cout) {
+      std::cerr << "error: failed writing trace to stdout\n";
+      return 1;
+    }
   } else {
-    std::ofstream OS(Out);
+    std::ofstream OS(Out, std::ios::binary | std::ios::trunc);
     if (!OS) {
       std::cerr << "error: cannot open '" << Out << "' for writing\n";
       return 1;
     }
-    writeTrace(Records, OS);
+    writeTrace(Records, OS, Format);
+    OS.flush();
+    if (!OS) {
+      std::cerr << "error: failed writing trace to '" << Out
+                << "' (disk full or device error)\n";
+      return 1;
+    }
     std::cerr << "wrote " << Records.size() << " block records to " << Out
+              << (Format == TraceFormat::Binary ? " (SFTB1)" : " (CSV)")
               << '\n';
   }
   return 0;

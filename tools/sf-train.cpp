@@ -1,12 +1,13 @@
 //===- tools/sf-train.cpp - Induce a filter from traces ---------------------===//
 //
-// Labels one or more traces (written by sf-trace) at a threshold, trains
-// a learner, prints the induced filter with coverage counts, and
-// optionally serializes it for installation in the compiler -- the
-// paper's offline "at the factory" procedure end to end.
+// Labels one or more traces (written by sf-trace, CSV or SFTB1 binary --
+// auto-detected per file) at a threshold, trains a learner, prints the
+// induced filter with coverage counts, and optionally serializes it for
+// installation in the compiler -- the paper's offline "at the factory"
+// procedure end to end.
 //
 // Usage:
-//   sf-train TRACE.csv [TRACE2.csv ...] [--threshold T]
+//   sf-train TRACE [TRACE2 ...] [--threshold T]
 //            [--learner ripper|tree|oner|stump] [--out RULES.txt]
 //            [--jobs N]
 //
@@ -15,7 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/TraceFile.h"
+#include "io/TraceStore.h"
 #include "ml/Baselines.h"
 #include "ml/DecisionTree.h"
 #include "ml/Metrics.h"
@@ -32,7 +33,7 @@
 using namespace schedfilter;
 
 static int usage() {
-  std::cerr << "usage: sf-train TRACE.csv [TRACE2.csv ...] [--threshold T]\n"
+  std::cerr << "usage: sf-train TRACE [TRACE2 ...] [--threshold T]\n"
                "                [--learner ripper|tree|oner|stump]"
                " [--out RULES.txt] [--jobs N]\n";
   return 1;
@@ -57,14 +58,12 @@ int main(int argc, char **argv) {
   std::vector<std::string> Errors(Paths.size());
   TaskPool Pool(*Jobs);
   Pool.parallelFor(Paths.size(), [&](size_t I) {
-    std::ifstream IS(Paths[I]);
-    if (!IS) {
-      Errors[I] = "error: cannot open trace '" + Paths[I] + "'";
-      return;
-    }
-    std::optional<std::vector<BlockRecord>> Records = readTrace(IS);
+    ParseResult<std::vector<BlockRecord>> Records = readTraceFile(Paths[I]);
     if (!Records) {
-      Errors[I] = "error: malformed trace '" + Paths[I] + "'";
+      const ParseError &E = Records.error();
+      Errors[I] = "error: " + Paths[I] +
+                  (E.Line ? ":" + std::to_string(E.Line) : "") + ": " +
+                  E.Message;
       return;
     }
     BlockCounts[I] = Records->size();
@@ -107,12 +106,18 @@ int main(int argc, char **argv) {
 
   std::string Out = CL.get("out");
   if (!Out.empty()) {
-    std::ofstream OS(Out);
+    std::ofstream OS(Out, std::ios::trunc);
     if (!OS) {
       std::cerr << "error: cannot open '" << Out << "' for writing\n";
       return 1;
     }
     writeRuleSet(Filter, OS);
+    OS.flush();
+    if (!OS) {
+      std::cerr << "error: failed writing filter to '" << Out
+                << "' (disk full or device error)\n";
+      return 1;
+    }
     std::cerr << "\nwrote filter to " << Out << '\n';
   }
   return 0;
