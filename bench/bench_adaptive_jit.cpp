@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "harness/ParallelExperiments.h"
+#include "runtime/CompileService.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"

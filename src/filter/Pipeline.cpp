@@ -5,7 +5,6 @@
 #include "sched/SchedContext.h"
 #include "support/Timer.h"
 
-#include <algorithm>
 #include <cassert>
 
 using namespace schedfilter;
@@ -100,66 +99,4 @@ CompileReport schedfilter::compileProgram(const Program &P,
     Report.SchedulingWork += Report.FilterWork;
   }
   return Report;
-}
-
-CompileReport schedfilter::compileProgramAdaptive(const Program &P,
-                                                  const MachineModel &Model,
-                                                  SchedulingPolicy Policy,
-                                                  ScheduleFilter *Filter,
-                                                  double HotMethodFraction) {
-  SchedContext Ctx;
-  return compileProgramAdaptive(P, Model, Policy, Filter, HotMethodFraction,
-                                Ctx);
-}
-
-CompileReport schedfilter::compileProgramAdaptive(const Program &P,
-                                                  const MachineModel &Model,
-                                                  SchedulingPolicy Policy,
-                                                  ScheduleFilter *Filter,
-                                                  double HotMethodFraction,
-                                                  SchedContext &Ctx) {
-  assert(HotMethodFraction >= 0.0 && HotMethodFraction <= 1.0 &&
-         "fraction must be in [0, 1]");
-
-  // Rank methods by total profile weight.
-  std::vector<std::pair<double, size_t>> Ranked;
-  for (size_t MI = 0; MI != P.size(); ++MI) {
-    double Weight = 0.0;
-    for (const BasicBlock &BB : P[MI])
-      Weight += static_cast<double>(BB.getExecCount());
-    Ranked.push_back({Weight, MI});
-  }
-  std::sort(Ranked.begin(), Ranked.end(), [](const auto &A, const auto &B) {
-    if (A.first != B.first)
-      return A.first > B.first;
-    return A.second < B.second;
-  });
-  size_t NumHot = static_cast<size_t>(HotMethodFraction *
-                                      static_cast<double>(P.size()) + 0.5);
-  std::vector<bool> IsHot(P.size(), false);
-  for (size_t I = 0; I != NumHot && I != Ranked.size(); ++I)
-    IsHot[Ranked[I].second] = true;
-
-  // Build a program view: hot methods keep the policy; cold methods are
-  // compiled baseline.  Reuse compileProgram on the two partitions and
-  // merge the reports.
-  Program Hot(P.getName() + ".hot");
-  Program Cold(P.getName() + ".cold");
-  for (size_t MI = 0; MI != P.size(); ++MI)
-    (IsHot[MI] ? Hot : Cold).addMethod(P[MI]);
-
-  CompileReport HotReport = compileProgram(Hot, Model, Policy, Filter, Ctx);
-  CompileReport ColdReport =
-      compileProgram(Cold, Model, SchedulingPolicy::Never, nullptr, Ctx);
-
-  CompileReport Merged;
-  Merged.Policy = Policy;
-  Merged.NumBlocks = HotReport.NumBlocks + ColdReport.NumBlocks;
-  Merged.NumScheduled = HotReport.NumScheduled;
-  Merged.SchedulingSeconds =
-      HotReport.SchedulingSeconds + ColdReport.SchedulingSeconds;
-  Merged.SchedulingWork = HotReport.SchedulingWork;
-  Merged.FilterWork = HotReport.FilterWork;
-  Merged.SimulatedTime = HotReport.SimulatedTime + ColdReport.SimulatedTime;
-  return Merged;
 }

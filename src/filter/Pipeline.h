@@ -70,26 +70,10 @@ CompileReport compileProgram(const Program &P, const MachineModel &Model,
                              SchedulingPolicy Policy, ScheduleFilter *Filter,
                              SchedContext &Ctx);
 
-/// The adaptive-JIT variant the paper discusses in §3.1: only *hot*
-/// methods are optimized at all.  Methods are ranked by total profile
-/// weight and the top \p HotMethodFraction (by method count, ties broken
-/// toward hotter) go through the scheduling policy; the rest compile
-/// baseline (never scheduled).  The paper's observation to reproduce:
-/// filtering still saves most of the scheduling effort in this regime,
-/// but the savings are a smaller share of total compilation.
-CompileReport compileProgramAdaptive(const Program &P,
-                                     const MachineModel &Model,
-                                     SchedulingPolicy Policy,
-                                     ScheduleFilter *Filter,
-                                     double HotMethodFraction);
-
-/// Context-reuse variant of compileProgramAdaptive.
-CompileReport compileProgramAdaptive(const Program &P,
-                                     const MachineModel &Model,
-                                     SchedulingPolicy Policy,
-                                     ScheduleFilter *Filter,
-                                     double HotMethodFraction,
-                                     SchedContext &Ctx);
+// The adaptive (hot-method-only) variant of §3.1 lives in the runtime
+// subsystem: runtime/CompileService.h declares compileProgramAdaptive on
+// top of the per-method MethodCompiler, bit-compatible with this
+// pipeline's accounting.
 
 } // namespace schedfilter
 

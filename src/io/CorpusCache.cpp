@@ -17,8 +17,6 @@ using namespace schedfilter;
 
 namespace {
 
-const char EntryMagicLine[] = "SFCC1"; ///< entry files start "SFCC1\n"
-
 /// Benchmark/model names are short identifiers, but never trust them as
 /// path components: keep [A-Za-z0-9._-], replace the rest.
 std::string sanitize(const std::string &S) {
@@ -97,9 +95,9 @@ CorpusCache::load(const CorpusKey &K,
   const char *End = P + Bytes.size();
 
   // Magic line.
-  const size_t MagicLen = sizeof(EntryMagicLine); // includes the '\n' slot
+  const size_t MagicLen = sizeof(CorpusEntryMagic); // includes the '\n' slot
   if (Bytes.size() < MagicLen ||
-      Bytes.compare(0, MagicLen - 1, EntryMagicLine) != 0 ||
+      Bytes.compare(0, MagicLen - 1, CorpusEntryMagic) != 0 ||
       Bytes[MagicLen - 1] != '\n')
     return Invalid();
   P += MagicLen;
@@ -177,7 +175,7 @@ bool CorpusCache::store(const CorpusKey &K,
   wire::putU64(Body, Records.size());
   Body += wire::encodeRecords(Records);
 
-  std::string Bytes(EntryMagicLine);
+  std::string Bytes(CorpusEntryMagic);
   Bytes += '\n';
   wire::putU64(Bytes, wire::fnv1a(Body.data(), Body.size()));
   Bytes += Body;

@@ -46,6 +46,12 @@
 
 namespace schedfilter {
 
+/// Magic of the corpus-entry format, the first line of every SFCC1 entry
+/// file.  Version bumps change this string (a new magic, never a silent
+/// format change); the sf-* tools report it under --version so a support
+/// ticket can name the exact artifact format in play.
+inline constexpr char CorpusEntryMagic[] = "SFCC1";
+
 /// Identity of one traced benchmark corpus.
 struct CorpusKey {
   std::string Benchmark;        ///< BenchmarkSpec::Name

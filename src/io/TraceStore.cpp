@@ -157,7 +157,9 @@ std::string schedfilter::formatDoubleShortest(double V) {
 
 namespace {
 
-const char BinaryMagicLine[] = "SFTB1"; ///< first line of an SFTB1 stream
+/// First line of an SFTB1 stream (the header-exported constant, locally
+/// named for the readers/writers below).
+const char *const BinaryMagicLine = TraceBinaryMagic;
 
 std::string expectedHeader() {
   std::string H;

@@ -46,6 +46,12 @@
 
 namespace schedfilter {
 
+/// Magic of the binary trace format, the first line of every SFTB1 stream.
+/// Version bumps change this string (a new magic, never a silent format
+/// change); the sf-* tools report it under --version so a support ticket
+/// can name the exact artifact format in play.
+inline constexpr char TraceBinaryMagic[] = "SFTB1";
+
 /// On-disk trace encodings.  Every reader auto-detects; writers choose.
 enum class TraceFormat {
   Csv,    ///< human-readable, header row + one CSV row per block

@@ -1,0 +1,309 @@
+//===- runtime/CompileService.cpp - Deterministic adaptive-JIT engine -------===//
+
+#include "runtime/CompileService.h"
+
+#include "runtime/MethodCompiler.h"
+#include "runtime/RecompileQueue.h"
+#include "sched/SchedContext.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace schedfilter;
+
+bool schedfilter::operator==(const ServiceStats &A, const ServiceStats &B) {
+  return A.Invocations == B.Invocations && A.Epochs == B.Epochs &&
+         A.SampledInvocations == B.SampledInvocations &&
+         A.Promotions == B.Promotions && A.Deferred == B.Deferred &&
+         A.CompiledMethods == B.CompiledMethods &&
+         A.MethodsOptimized == B.MethodsOptimized &&
+         A.MethodsTotal == B.MethodsTotal &&
+         A.MaxQueueDepth == B.MaxQueueDepth &&
+         A.MeanQueueDepth == B.MeanQueueDepth &&
+         A.FinalQueueDepth == B.FinalQueueDepth &&
+         A.BaselineInvocations == B.BaselineInvocations &&
+         A.OptimizedInvocations == B.OptimizedInvocations &&
+         A.SchedulingWork == B.SchedulingWork &&
+         A.FilterWork == B.FilterWork &&
+         A.BlocksCompiled == B.BlocksCompiled &&
+         A.BlocksScheduled == B.BlocksScheduled &&
+         A.FilterLS == B.FilterLS && A.FilterNS == B.FilterNS &&
+         A.AppTime == B.AppTime && A.BaselineAppTime == B.BaselineAppTime;
+}
+
+uint64_t schedfilter::invocationStreamSeed(uint64_t WorkloadSeed) {
+  // Forked, not derived by ad-hoc arithmetic: the stream must be
+  // statistically independent of the generator's own draws from the same
+  // seed, or invocation hotness would correlate with program shape.
+  return Rng(WorkloadSeed).fork(0x1457BEA7CA11ULL).next64();
+}
+
+CompileService::CompileService(const Program &P, const MachineModel &Model,
+                               const ServiceConfig &Cfg, const RuleSet *Rules,
+                               TaskPool &Pool,
+                               const std::vector<double> *SharedBaselineCost)
+    : Prog(P), Model(Model), Cfg(Cfg), Rules(Rules), Pool(Pool) {
+  assert((Cfg.OptimizingPolicy == SchedulingPolicy::Filtered) ==
+             (Rules != nullptr) &&
+         "rules must be supplied exactly for the Filtered policy");
+  assert(Cfg.QueueCap >= 1 && Cfg.EpochLen >= 1 && Cfg.SampleEvery >= 1 &&
+         "degenerate service configuration");
+
+  // Invocation distribution: methods invoked proportionally to their total
+  // profile weight, the populations the generator's hotness profile
+  // encodes.
+  CumWeight.reserve(P.size());
+  for (const Method &M : P) {
+    double W = 0.0;
+    for (const BasicBlock &BB : M)
+      W += static_cast<double>(BB.getExecCount());
+    TotalWeight += W;
+    CumWeight.push_back(TotalWeight);
+  }
+
+  // Baseline tier: per-invocation cost of every method compiled without
+  // scheduling.  A pure function of (program, model), so a sibling
+  // service's vector can stand in wholesale...
+  const size_t NumMethods = P.size();
+  if (SharedBaselineCost) {
+    assert(SharedBaselineCost->size() == NumMethods &&
+           "shared baseline costs must come from the same program");
+    BaselineCost = *SharedBaselineCost;
+    return;
+  }
+  // ...and otherwise it is computed once per service, chunked so each
+  // worker folds its contiguous method range through one reused
+  // SchedContext (results stay index-owned per method: identical at any
+  // job count).
+  BaselineCost.resize(NumMethods);
+  size_t NumChunks = std::min<size_t>(NumMethods, Pool.jobs());
+  if (NumChunks) {
+    size_t PerChunk = (NumMethods + NumChunks - 1) / NumChunks;
+    Pool.parallelFor(NumChunks, [&](size_t C) {
+      SchedContext Ctx;
+      MethodCompiler MC(Model, Ctx);
+      size_t End = std::min(NumMethods, (C + 1) * PerChunk);
+      for (size_t I = C * PerChunk; I < End; ++I) {
+        CompileReport R;
+        MC.compileMethod(P[I], SchedulingPolicy::Never, nullptr, R);
+        BaselineCost[I] = R.SimulatedTime;
+      }
+    });
+  }
+}
+
+size_t CompileService::sampleMethod(Rng &Stream) const {
+  double U = Stream.uniform() * TotalWeight;
+  size_t I = static_cast<size_t>(
+      std::upper_bound(CumWeight.begin(), CumWeight.end(), U) -
+      CumWeight.begin());
+  return std::min(I, CumWeight.size() - 1);
+}
+
+ServiceStats CompileService::run() {
+  ServiceStats St;
+  const size_t NumMethods = Prog.size();
+  St.MethodsTotal = NumMethods;
+  if (NumMethods == 0 || TotalWeight <= 0.0)
+    return St;
+
+  std::vector<double> Cost = BaselineCost; // current-tier cost per method
+  std::vector<Tier> Tiers(NumMethods, Tier::Baseline);
+  std::vector<uint32_t> Samples(NumMethods, 0);
+  std::vector<bool> Pending(NumMethods, false);
+  RecompileQueue Queue(Cfg.QueueCap);
+  Rng Stream = Rng(Cfg.StreamSeed).fork(0);
+
+  /// Index-owned slot one drained compile writes into.
+  struct CompileOutcome {
+    CompileReport Report;
+    uint64_t FilterLS = 0;
+    uint64_t FilterNS = 0;
+  };
+  std::vector<uint32_t> Drained;
+  std::vector<CompileOutcome> Outcomes;
+  double QueueDepthSum = 0.0;
+
+  for (uint64_t Tick = 0; Tick < Cfg.Invocations;) {
+    // --- One epoch of invocations (the virtual clock's install
+    // granularity). ---
+    uint64_t EpochEnd = std::min(Tick + Cfg.EpochLen, Cfg.Invocations);
+    for (; Tick != EpochEnd; ++Tick) {
+      size_t M = sampleMethod(Stream);
+      St.AppTime += Cost[M];
+      St.BaselineAppTime += BaselineCost[M];
+      if (Tiers[M] == Tier::Baseline)
+        ++St.BaselineInvocations;
+      else
+        ++St.OptimizedInvocations;
+
+      if (Tick % Cfg.SampleEvery == 0) {
+        ++St.SampledInvocations;
+        ++Samples[M];
+        if (Tiers[M] == Tier::Baseline && !Pending[M] &&
+            Samples[M] >= Cfg.HotThreshold) {
+          if (Queue.push(static_cast<uint32_t>(M))) {
+            Pending[M] = true;
+            ++St.Promotions;
+          } else {
+            // Backpressure: shed the nomination; the method stays hot and
+            // is re-nominated at its next sample.
+            ++St.Deferred;
+          }
+        }
+      }
+    }
+
+    // --- Epoch boundary: the virtual compiler retires queued requests. ---
+    ++St.Epochs;
+    St.MaxQueueDepth = std::max<uint64_t>(St.MaxQueueDepth, Queue.size());
+    QueueDepthSum += static_cast<double>(Queue.size());
+
+    Drained.clear();
+    for (uint32_t I = 0; I != Cfg.DrainPerEpoch; ++I) {
+      uint32_t M = 0;
+      if (!Queue.pop(M))
+        break;
+      Drained.push_back(M);
+    }
+
+    Outcomes.assign(Drained.size(), CompileOutcome());
+    Pool.parallelFor(Drained.size(), [&](size_t I) {
+      // Per-task context and per-task filter copy: the shared filter's
+      // statistics counters are not thread-safe, and per-task copies also
+      // make each outcome a pure function of (method, model, rules).
+      SchedContext Ctx;
+      MethodCompiler MC(Model, Ctx);
+      CompileOutcome &Out = Outcomes[I];
+      if (Rules && Cfg.OptimizingPolicy == SchedulingPolicy::Filtered) {
+        ScheduleFilter F(*Rules);
+        MC.compileMethod(Prog[Drained[I]], Cfg.OptimizingPolicy, &F,
+                         Out.Report);
+        Out.FilterLS = F.numScheduleDecisions();
+        Out.FilterNS = F.numSkipDecisions();
+      } else {
+        MC.compileMethod(Prog[Drained[I]], Cfg.OptimizingPolicy, nullptr,
+                         Out.Report);
+      }
+    });
+
+    // Install in drain order (never completion order): deterministic
+    // stat folds, and the new tier takes effect from the next epoch's
+    // first tick -- compile latency under the virtual clock.
+    for (size_t I = 0; I != Drained.size(); ++I) {
+      uint32_t M = Drained[I];
+      const CompileOutcome &Out = Outcomes[I];
+      Tiers[M] = Tier::Optimizing;
+      Pending[M] = false;
+      Cost[M] = Out.Report.SimulatedTime;
+      St.SchedulingWork += Out.Report.SchedulingWork;
+      St.FilterWork += Out.Report.FilterWork;
+      St.BlocksCompiled += Out.Report.NumBlocks;
+      St.BlocksScheduled += Out.Report.NumScheduled;
+      St.FilterLS += Out.FilterLS;
+      St.FilterNS += Out.FilterNS;
+      ++St.CompiledMethods;
+    }
+  }
+
+  St.Invocations = Cfg.Invocations;
+  St.FinalQueueDepth = Queue.size();
+  St.MeanQueueDepth =
+      St.Epochs ? QueueDepthSum / static_cast<double>(St.Epochs) : 0.0;
+  for (Tier T : Tiers)
+    St.MethodsOptimized += T == Tier::Optimizing;
+  return St;
+}
+
+ServeComparison schedfilter::runServeComparison(const Program &P,
+                                               const MachineModel &Model,
+                                               ServiceConfig Cfg,
+                                               const RuleSet &Rules,
+                                               TaskPool &Pool) {
+  ServeComparison Cmp;
+
+  Cfg.OptimizingPolicy = SchedulingPolicy::Always;
+  CompileService Always(P, Model, Cfg, nullptr, Pool);
+  Cmp.Always = Always.run();
+
+  Cfg.OptimizingPolicy = SchedulingPolicy::Filtered;
+  Cmp.Filtered =
+      CompileService(P, Model, Cfg, &Rules, Pool, &Always.baselineCosts())
+          .run();
+
+  if (Cmp.Always.SchedulingWork)
+    Cmp.RecoupedWorkFraction =
+        (static_cast<double>(Cmp.Always.SchedulingWork) -
+         static_cast<double>(Cmp.Filtered.SchedulingWork)) /
+        static_cast<double>(Cmp.Always.SchedulingWork);
+  return Cmp;
+}
+
+//===----------------------------------------------------------------------===//
+// Profile-directed batch entry (the §3.1 hot-method-only regime).
+//===----------------------------------------------------------------------===//
+
+CompileReport schedfilter::compileProgramAdaptive(const Program &P,
+                                                  const MachineModel &Model,
+                                                  SchedulingPolicy Policy,
+                                                  ScheduleFilter *Filter,
+                                                  double HotMethodFraction) {
+  SchedContext Ctx;
+  return compileProgramAdaptive(P, Model, Policy, Filter, HotMethodFraction,
+                                Ctx);
+}
+
+CompileReport schedfilter::compileProgramAdaptive(const Program &P,
+                                                  const MachineModel &Model,
+                                                  SchedulingPolicy Policy,
+                                                  ScheduleFilter *Filter,
+                                                  double HotMethodFraction,
+                                                  SchedContext &Ctx) {
+  assert(HotMethodFraction >= 0.0 && HotMethodFraction <= 1.0 &&
+         "fraction must be in [0, 1]");
+
+  // Rank methods by total profile weight, ties toward earlier methods.
+  std::vector<std::pair<double, size_t>> Ranked;
+  for (size_t MI = 0; MI != P.size(); ++MI) {
+    double Weight = 0.0;
+    for (const BasicBlock &BB : P[MI])
+      Weight += static_cast<double>(BB.getExecCount());
+    Ranked.push_back({Weight, MI});
+  }
+  std::sort(Ranked.begin(), Ranked.end(), [](const auto &A, const auto &B) {
+    if (A.first != B.first)
+      return A.first > B.first;
+    return A.second < B.second;
+  });
+  size_t NumHot = static_cast<size_t>(
+      HotMethodFraction * static_cast<double>(P.size()) + 0.5);
+  std::vector<bool> IsHot(P.size(), false);
+  for (size_t I = 0; I != NumHot && I != Ranked.size(); ++I)
+    IsHot[Ranked[I].second] = true;
+
+  // Hot methods compile under the policy, cold methods baseline, each
+  // partition folded method by method in program order -- the exact block
+  // sequence (and therefore the exact SimulatedTime fold) of compiling the
+  // two partition programs, as this function historically did.
+  MethodCompiler MC(Model, Ctx);
+  CompileReport HotReport;
+  HotReport.Policy = Policy;
+  for (size_t MI = 0; MI != P.size(); ++MI)
+    if (IsHot[MI])
+      MC.compileMethod(P[MI], Policy, Filter, HotReport);
+  CompileReport ColdReport;
+  for (size_t MI = 0; MI != P.size(); ++MI)
+    if (!IsHot[MI])
+      MC.compileMethod(P[MI], SchedulingPolicy::Never, nullptr, ColdReport);
+
+  CompileReport Merged;
+  Merged.Policy = Policy;
+  Merged.NumBlocks = HotReport.NumBlocks + ColdReport.NumBlocks;
+  Merged.NumScheduled = HotReport.NumScheduled;
+  Merged.SchedulingSeconds =
+      HotReport.SchedulingSeconds + ColdReport.SchedulingSeconds;
+  Merged.SchedulingWork = HotReport.SchedulingWork;
+  Merged.FilterWork = HotReport.FilterWork;
+  Merged.SimulatedTime = HotReport.SimulatedTime + ColdReport.SimulatedTime;
+  return Merged;
+}

@@ -1,0 +1,221 @@
+//===- runtime/CompileService.h - Deterministic adaptive-JIT engine -*- C++ -*-===//
+///
+/// \file
+/// The runtime subsystem: a CompileService receives a method-invocation
+/// stream instead of batch-compiling whole programs, the regime the paper's
+/// host system (Jikes RVM's adaptive optimization system) actually runs in
+/// and the one §3.1 discusses for hot-method-only compilation.  Methods
+/// start in a baseline tier (never scheduled); sampling-based hotness
+/// counters nominate hot methods into a bounded recompilation queue; a
+/// virtual compiler drains the queue at epoch boundaries and installs
+/// optimizing-tier code, where the scheduling policy (NS / LS / the induced
+/// ScheduleFilter) is applied block by block.
+///
+/// Everything is deterministic by construction, at any TaskPool job count
+/// and with a cold or warm corpus cache:
+///   - the invocation stream is replayed from the workload's own seed
+///     through a forked Rng stream (invocationStreamSeed), so the stream is
+///     part of the workload's identity, not of the run;
+///   - time is virtual: one invocation advances the clock one tick, and a
+///     method nominated during an epoch is installed exactly at that
+///     epoch's boundary, never earlier -- so compile latency is modeled
+///     without depending on worker timing;
+///   - the bounded queue (runtime/RecompileQueue.h) is FIFO and its
+///     backpressure rule (drop when full, re-nominate at the next hot
+///     sample) depends only on arrival order;
+///   - drained requests compile in parallel on the TaskPool into
+///     index-owned slots (each task builds its results from its own
+///     SchedContext and its own ScheduleFilter copy), and stats are folded
+///     in drain order -- the same indexed-loop idiom as the experiment
+///     engine.
+/// tests/runtime_test.cpp pins jobs=1 vs jobs=4 ServiceStats equality
+/// field by field, doubles included.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_RUNTIME_COMPILESERVICE_H
+#define SCHEDFILTER_RUNTIME_COMPILESERVICE_H
+
+#include "filter/Pipeline.h"
+#include "support/Rng.h"
+#include "support/TaskPool.h"
+
+#include <cstdint>
+
+namespace schedfilter {
+
+/// Compilation tiers a method moves through.
+enum class Tier {
+  Baseline,   ///< entry state: compiled without any scheduling (NS)
+  Optimizing, ///< recompiled by the service; the configured policy decides
+              ///< per block whether the list scheduler runs
+};
+
+/// Knobs of one service run.  Defaults are the sf-serve defaults; the
+/// golden headline (Golden.ServeRecoupedHeadline) is pinned against them.
+struct ServiceConfig {
+  /// Policy of the optimizing tier.  Filtered requires a rule set.
+  SchedulingPolicy OptimizingPolicy = SchedulingPolicy::Filtered;
+  /// Length of the invocation stream (virtual ticks).
+  uint64_t Invocations = 200000;
+  /// Sampling period: every Nth invocation is sampled into the hotness
+  /// counters (Jikes RVM samples on timer ticks; a fixed stride is its
+  /// deterministic stand-in).
+  uint32_t SampleEvery = 16;
+  /// Samples a baseline method must accumulate before it is nominated for
+  /// the optimizing tier (the --hot-threshold flag).  The default keeps
+  /// the service selective -- roughly the hottest two thirds of a stock
+  /// workload's methods promote over a 200k-invocation stream.
+  uint32_t HotThreshold = 32;
+  /// Capacity of the bounded recompilation queue (the --queue-cap flag).
+  uint32_t QueueCap = 32;
+  /// Requests the virtual compiler retires per epoch boundary.
+  uint32_t DrainPerEpoch = 4;
+  /// Invocations per epoch (compile-install granularity of the virtual
+  /// clock).
+  uint32_t EpochLen = 1024;
+  /// Seed of the invocation stream; derive with invocationStreamSeed so
+  /// the stream is a pure function of the workload.
+  uint64_t StreamSeed = 0;
+};
+
+/// Everything one service run measures.  All fields are deterministic --
+/// bit-identical at any job count and cache temperature -- so the struct
+/// is directly comparable; wall time is measured by callers around run().
+struct ServiceStats {
+  uint64_t Invocations = 0;        ///< virtual ticks consumed
+  uint64_t Epochs = 0;             ///< epoch boundaries crossed
+  uint64_t SampledInvocations = 0; ///< ticks inspected by the sampler
+  uint64_t Promotions = 0;         ///< nominations accepted by the queue
+  uint64_t Deferred = 0;           ///< nominations dropped (queue full)
+  uint64_t CompiledMethods = 0;    ///< requests retired by the drain
+  uint64_t MethodsOptimized = 0;   ///< methods in the optimizing tier at end
+  uint64_t MethodsTotal = 0;
+
+  uint64_t MaxQueueDepth = 0;   ///< sampled at epoch boundaries
+  double MeanQueueDepth = 0.0;  ///< ditto, averaged over epochs
+  uint64_t FinalQueueDepth = 0; ///< requests still queued at stream end
+
+  /// Tier residency: invocations executed while the target method was in
+  /// each tier.
+  uint64_t BaselineInvocations = 0;
+  uint64_t OptimizedInvocations = 0;
+
+  /// Compile-side effort of the optimizing tier (deterministic work
+  /// units; wall time backs no pinned number and is measured by callers).
+  uint64_t SchedulingWork = 0;
+  uint64_t FilterWork = 0;     ///< portion spent on features + rules
+  uint64_t BlocksCompiled = 0; ///< blocks passed through the opt tier
+  uint64_t BlocksScheduled = 0;
+  uint64_t FilterLS = 0; ///< online filter decisions, optimizing tier
+  uint64_t FilterNS = 0;
+
+  /// Application side, in SIM units (exec-weight x simulated cycles):
+  /// AppTime charges each invocation its method's current-tier cost;
+  /// BaselineAppTime charges the baseline cost throughout (what the
+  /// service's optimization recouped).
+  double AppTime = 0.0;
+  double BaselineAppTime = 0.0;
+};
+
+/// True when every deterministic field matches (all of them are).
+bool operator==(const ServiceStats &A, const ServiceStats &B);
+inline bool operator!=(const ServiceStats &A, const ServiceStats &B) {
+  return !(A == B);
+}
+
+/// The invocation-stream seed for a workload: forked from the workload's
+/// own seed (BenchmarkSpec::Seed), so every driver replaying the same
+/// benchmark sees the same stream -- the stream identifies the workload,
+/// not the tool.
+uint64_t invocationStreamSeed(uint64_t WorkloadSeed);
+
+/// The adaptive-JIT engine.  Construct per (program, model, config) and
+/// call run(); the service is reusable (each run starts from a fresh
+/// all-baseline state and an identical stream).
+class CompileService {
+public:
+  /// \p Rules must be non-null iff Cfg.OptimizingPolicy == Filtered; the
+  /// service copies it into per-task ScheduleFilters as requests retire.
+  /// \p Pool is borrowed; drained batches compile on its workers.
+  /// \p SharedBaselineCost, when given, must be another service's
+  /// baselineCosts() over the same (program, model) -- it is copied
+  /// instead of recompiled (the vector is a pure function of both, so
+  /// sharing cannot change results; runServeComparison uses this to pay
+  /// the baseline compile once, not per policy run).
+  CompileService(const Program &P, const MachineModel &Model,
+                 const ServiceConfig &Cfg, const RuleSet *Rules,
+                 TaskPool &Pool,
+                 const std::vector<double> *SharedBaselineCost = nullptr);
+
+  /// Replays the whole invocation stream and returns the run's stats.
+  ServiceStats run();
+
+  const ServiceConfig &config() const { return Cfg; }
+
+  /// Per-invocation baseline-tier cost of each method (computed at
+  /// construction; sharable across services over the same program/model).
+  const std::vector<double> &baselineCosts() const { return BaselineCost; }
+
+private:
+  const Program &Prog;
+  const MachineModel &Model;
+  ServiceConfig Cfg;
+  const RuleSet *Rules;
+  TaskPool &Pool;
+
+  /// Cumulative profile-weight distribution over methods (CDF) for the
+  /// invocation sampler.
+  std::vector<double> CumWeight;
+  double TotalWeight = 0.0;
+  /// Per-invocation cost of each method at the baseline tier; computed
+  /// once at construction (pure function of program + model).
+  std::vector<double> BaselineCost;
+
+  size_t sampleMethod(Rng &Stream) const;
+};
+
+/// The sf-serve headline: one stream replayed under both optimizing-tier
+/// policies (LS and the induced filter), so the recouped scheduling time
+/// is an apples-to-apples difference on identical promotion dynamics.
+struct ServeComparison {
+  ServiceStats Always;   ///< optimizing tier = LS (schedule every block)
+  ServiceStats Filtered; ///< optimizing tier = L/N (filter decides)
+  /// Scheduling work the filter recouped: (LS - L/N) / LS work units; 0
+  /// when the LS run did no scheduling at all.  Negative when the filter
+  /// costs more than it saves (it schedules nearly everything and still
+  /// pays feature/rule evaluation) -- a filter regression worth seeing,
+  /// never clamped away.
+  double RecoupedWorkFraction = 0.0;
+};
+
+/// Runs the service twice over the identical stream (Always, then
+/// Filtered with \p Rules) and computes the recouped-work headline.
+ServeComparison runServeComparison(const Program &P, const MachineModel &Model,
+                                   ServiceConfig Cfg, const RuleSet &Rules,
+                                   TaskPool &Pool);
+
+/// The profile-directed batch entry of the tiered-compilation subsystem,
+/// the §3.1 hot-method-only regime: methods are ranked by total profile
+/// weight, the top \p HotMethodFraction (by method count, ties toward
+/// hotter) compile under \p Policy, the rest compile baseline.  Retains
+/// its historical name and bit-exact behavior from filter/Pipeline.h --
+/// bench_adaptive_jit's table reproduces unchanged on top of the runtime's
+/// MethodCompiler (tests/adaptive_test.cpp pins the equivalence).
+CompileReport compileProgramAdaptive(const Program &P,
+                                     const MachineModel &Model,
+                                     SchedulingPolicy Policy,
+                                     ScheduleFilter *Filter,
+                                     double HotMethodFraction);
+
+/// Context-reuse variant of compileProgramAdaptive.
+CompileReport compileProgramAdaptive(const Program &P,
+                                     const MachineModel &Model,
+                                     SchedulingPolicy Policy,
+                                     ScheduleFilter *Filter,
+                                     double HotMethodFraction,
+                                     SchedContext &Ctx);
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_RUNTIME_COMPILESERVICE_H

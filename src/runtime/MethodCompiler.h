@@ -1,0 +1,57 @@
+//===- runtime/MethodCompiler.h - Per-method tiered compile -----*- C++ -*-===//
+///
+/// \file
+/// The unit of work the CompileService's recompilation queue retires: one
+/// method, compiled under one scheduling policy.  The per-block loop is
+/// the same decision/schedule/simulate sequence as filter/Pipeline's
+/// compileProgram, and accumulation into the caller's CompileReport uses
+/// the identical flat per-block fold -- including the floating-point
+/// grouping of SimulatedTime -- so a program compiled method by method
+/// through a MethodCompiler produces bit-for-bit the report of a
+/// whole-program compileProgram over the same block sequence.  That
+/// equivalence is what lets compileProgramAdaptive (and therefore
+/// bench_adaptive_jit's table) move onto the runtime subsystem without
+/// perturbing a single pinned number; tests/adaptive_test.cpp locks it in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_RUNTIME_METHODCOMPILER_H
+#define SCHEDFILTER_RUNTIME_METHODCOMPILER_H
+
+#include "filter/Pipeline.h"
+#include "mir/Method.h"
+
+namespace schedfilter {
+
+class SchedContext;
+
+/// Compiles methods one at a time under a scheduling policy, accumulating
+/// into a running CompileReport.  Holds the scheduler/simulator pair and
+/// borrows a SchedContext, so retiring method after method on the same
+/// compiler performs zero steady-state allocations (one compiler per
+/// worker thread; contexts are not thread-safe).
+class MethodCompiler {
+public:
+  MethodCompiler(const MachineModel &Model, SchedContext &Ctx);
+
+  /// Compiles \p M under \p Policy, accumulating counts, work units, wall
+  /// time and simulated application time into \p Report.  \p Filter must
+  /// be non-null iff Policy == Filtered; its work-unit delta is charged to
+  /// Report.FilterWork and Report.SchedulingWork, as the pipeline does.
+  ///
+  /// Accumulation is a flat per-block fold in block order: calling this
+  /// for a sequence of methods yields the exact CompileReport (bit-for-bit
+  /// SimulatedTime included) of compileProgram over a program holding the
+  /// same methods in the same order.
+  void compileMethod(const Method &M, SchedulingPolicy Policy,
+                     ScheduleFilter *Filter, CompileReport &Report);
+
+private:
+  ListScheduler Scheduler;
+  BlockSimulator Sim;
+  SchedContext &Ctx;
+};
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_RUNTIME_METHODCOMPILER_H

@@ -1,12 +1,14 @@
 //===- tests/adaptive_test.cpp - adaptive pipeline & ppc970 tests -------------===//
 
-#include "filter/Pipeline.h"
+#include "runtime/CompileService.h"
 #include "target/MachineModel.h"
 
 #include "TestHelpers.h"
 #include "workloads/ProgramGenerator.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 using namespace schedfilter;
 using namespace schedfilter::test;
@@ -86,6 +88,72 @@ TEST(AdaptiveJit, FilteredPolicyComposes) {
   // Filter only consulted for hot methods' blocks.
   EXPECT_LT(F.numScheduleDecisions() + F.numSkipDecisions(),
             P.totalBlocks());
+}
+
+TEST(AdaptiveJit, MatchesPartitionedPipelineBitForBit) {
+  // compileProgramAdaptive moved from filter/Pipeline onto the runtime's
+  // MethodCompiler; its historical algorithm -- partition into hot/cold
+  // programs, compileProgram each, merge -- must be reproduced bit for
+  // bit, the SimulatedTime floating-point fold included.  This test IS
+  // that old algorithm, inlined.
+  MachineModel M = MachineModel::ppc7410();
+  Program P = testProgram();
+  RuleSet RS(Label::NS);
+  Rule Rl;
+  Rl.Conclusion = Label::LS;
+  Rl.Conditions.push_back({FeatBBLen, false, 7.0});
+  RS.addRule(std::move(Rl));
+
+  for (double Hot : {0.0, 0.25, 0.5, 1.0}) {
+    for (SchedulingPolicy Policy :
+         {SchedulingPolicy::Always, SchedulingPolicy::Filtered}) {
+      ScheduleFilter NewF(RS);
+      ScheduleFilter OldF(RS);
+      ScheduleFilter *NewFilter =
+          Policy == SchedulingPolicy::Filtered ? &NewF : nullptr;
+      ScheduleFilter *OldFilter =
+          Policy == SchedulingPolicy::Filtered ? &OldF : nullptr;
+
+      CompileReport New =
+          compileProgramAdaptive(P, M, Policy, NewFilter, Hot);
+
+      // The pre-runtime implementation, verbatim.
+      std::vector<std::pair<double, size_t>> Ranked;
+      for (size_t MI = 0; MI != P.size(); ++MI) {
+        double Weight = 0.0;
+        for (const BasicBlock &BB : P[MI])
+          Weight += static_cast<double>(BB.getExecCount());
+        Ranked.push_back({Weight, MI});
+      }
+      std::sort(Ranked.begin(), Ranked.end(),
+                [](const auto &A, const auto &B) {
+                  if (A.first != B.first)
+                    return A.first > B.first;
+                  return A.second < B.second;
+                });
+      size_t NumHot = static_cast<size_t>(
+          Hot * static_cast<double>(P.size()) + 0.5);
+      std::vector<bool> IsHot(P.size(), false);
+      for (size_t I = 0; I != NumHot && I != Ranked.size(); ++I)
+        IsHot[Ranked[I].second] = true;
+      Program HotProg("hot"), ColdProg("cold");
+      for (size_t MI = 0; MI != P.size(); ++MI)
+        (IsHot[MI] ? HotProg : ColdProg).addMethod(P[MI]);
+      CompileReport HotReport =
+          compileProgram(HotProg, M, Policy, OldFilter);
+      CompileReport ColdReport =
+          compileProgram(ColdProg, M, SchedulingPolicy::Never, nullptr);
+
+      EXPECT_EQ(New.NumBlocks, HotReport.NumBlocks + ColdReport.NumBlocks);
+      EXPECT_EQ(New.NumScheduled, HotReport.NumScheduled);
+      EXPECT_EQ(New.SchedulingWork, HotReport.SchedulingWork);
+      EXPECT_EQ(New.FilterWork, HotReport.FilterWork);
+      // Exact double equality: the fold order/grouping must match, not
+      // merely the value to within rounding.
+      EXPECT_EQ(New.SimulatedTime,
+                HotReport.SimulatedTime + ColdReport.SimulatedTime);
+    }
+  }
 }
 
 TEST(Ppc970, WiderAndDeeperThan7410) {

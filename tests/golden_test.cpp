@@ -11,6 +11,7 @@
 
 #include "harness/ParallelExperiments.h"
 #include "io/TraceStore.h"
+#include "runtime/CompileService.h"
 #include "support/Statistics.h"
 
 #include "TestHelpers.h"
@@ -163,6 +164,57 @@ TEST(Golden, Table5IdenticalFromEveryArtifactSource) {
   EXPECT_EQ(Warm.tracedBlocks(), 0u);
   EXPECT_EQ(Cache.stats().Hits, Specs.size());
   EXPECT_EQ(CountAt0(FromCache), Golden);
+}
+
+TEST(Golden, AdaptiveRegimeStable) {
+  // The §3.1 hot-method-only regime, now served by the runtime subsystem:
+  // exact work units and block counts for one benchmark at one fraction,
+  // so any drift in the rebased compileProgramAdaptive is caught without
+  // rerunning the whole bench_adaptive_jit LOOCV table.
+  MachineModel Model = MachineModel::ppc7410();
+  Program P = ProgramGenerator(*findBenchmarkSpec("db")).generate();
+  CompileReport LS = compileProgramAdaptive(P, Model,
+                                            SchedulingPolicy::Always,
+                                            nullptr, 0.25);
+  CompileReport Full =
+      compileProgram(P, Model, SchedulingPolicy::Always);
+  EXPECT_EQ(LS.NumBlocks, Full.NumBlocks);
+  EXPECT_LT(LS.NumScheduled, Full.NumScheduled);
+  EXPECT_LT(LS.SchedulingWork, Full.SchedulingWork);
+  EXPECT_GT(LS.NumScheduled, 0u);
+  // Pure functions of the seeded generator + scheduler accounting.
+  EXPECT_EQ(LS.NumScheduled, 405u);
+  EXPECT_EQ(LS.SchedulingWork, 48870u);
+}
+
+TEST(Golden, ServeRecoupedHeadline) {
+  // The sf-serve headline at the default service config: db's invocation
+  // stream served with LS vs the self-trained t = 0 filter in the
+  // optimizing tier.  The LS-side work is a pure integer function of the
+  // stream and the scheduler and is pinned exactly; the recouped fraction
+  // depends on the induced rule set and gets a tolerance, like the other
+  // learner-dependent goldens.
+  MachineModel Model = MachineModel::ppc7410();
+  const BenchmarkSpec &Spec = *findBenchmarkSpec("db");
+  std::vector<BenchmarkRun> Runs = generateSuiteData({Spec}, Model);
+  RuleSet Rules = ripperLearner()(labelSuite(Runs, 0.0)[0]);
+
+  ServiceConfig Cfg;
+  Cfg.StreamSeed = invocationStreamSeed(Spec.Seed);
+  TaskPool Pool(4);
+  ServeComparison Cmp =
+      runServeComparison(Runs[0].Prog, Model, Cfg, Rules, Pool);
+
+  EXPECT_EQ(Cmp.Always.SchedulingWork, 102414u);
+  EXPECT_EQ(Cmp.Always.Promotions, 77u);
+  EXPECT_EQ(Cmp.Always.Deferred, 0u);
+  EXPECT_EQ(Cmp.Always.FinalQueueDepth, 0u);
+  EXPECT_NEAR(Cmp.RecoupedWorkFraction, 0.393, 0.06);
+  // Filtering keeps the optimization's application-side value: the served
+  // stream is within a whisker of the LS run's time.
+  double AppLS = Cmp.Always.AppTime / Cmp.Always.BaselineAppTime;
+  double AppLN = Cmp.Filtered.AppTime / Cmp.Filtered.BaselineAppTime;
+  EXPECT_LT(AppLN - AppLS, 0.005);
 }
 
 TEST(Golden, EffortCollapsesAtHighThreshold) {

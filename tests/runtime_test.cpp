@@ -1,0 +1,252 @@
+//===- tests/runtime_test.cpp - CompileService / queue / determinism --------===//
+//
+// The runtime subsystem's contracts: the bounded recompilation queue is
+// FIFO with load-shedding backpressure; the CompileService's virtual
+// clock, sampling and promotion dynamics are pure functions of
+// (program, config, rules); and every ServiceStats field -- doubles
+// included -- is bit-identical at any TaskPool job count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CompileService.h"
+#include "runtime/RecompileQueue.h"
+#include "target/MachineModel.h"
+#include "workloads/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace schedfilter;
+
+namespace {
+
+Program testProgram(int NumMethods = 16) {
+  BenchmarkSpec S = *findBenchmarkSpec("mpegaudio");
+  S.NumMethods = NumMethods;
+  return ProgramGenerator(S).generate();
+}
+
+/// A hand-built filter (schedule blocks of >= 7 instructions), so the
+/// tests exercise the service without paying for rule induction.
+RuleSet testRules() {
+  RuleSet RS(Label::NS);
+  Rule R;
+  R.Conclusion = Label::LS;
+  R.Conditions.push_back({FeatBBLen, false, 7.0});
+  RS.addRule(std::move(R));
+  return RS;
+}
+
+/// A quick config: enough stream for several epochs of promotions.
+ServiceConfig testConfig() {
+  ServiceConfig Cfg;
+  Cfg.Invocations = 20000;
+  Cfg.EpochLen = 256;
+  Cfg.SampleEvery = 4;
+  Cfg.HotThreshold = 4;
+  Cfg.QueueCap = 8;
+  Cfg.DrainPerEpoch = 2;
+  Cfg.StreamSeed = invocationStreamSeed(42);
+  return Cfg;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// RecompileQueue
+//===----------------------------------------------------------------------===//
+
+TEST(RecompileQueue, FifoOrder) {
+  RecompileQueue Q(4);
+  EXPECT_TRUE(Q.empty());
+  for (uint32_t I = 0; I != 4; ++I)
+    EXPECT_TRUE(Q.push(10 + I));
+  uint32_t M = 0;
+  for (uint32_t I = 0; I != 4; ++I) {
+    ASSERT_TRUE(Q.pop(M));
+    EXPECT_EQ(M, 10 + I);
+  }
+  EXPECT_FALSE(Q.pop(M));
+}
+
+TEST(RecompileQueue, BackpressureWhenFull) {
+  RecompileQueue Q(2);
+  EXPECT_TRUE(Q.push(1));
+  EXPECT_TRUE(Q.push(2));
+  EXPECT_TRUE(Q.full());
+  // A full queue sheds the request and keeps its contents intact.
+  EXPECT_FALSE(Q.push(3));
+  EXPECT_EQ(Q.size(), 2u);
+  uint32_t M = 0;
+  ASSERT_TRUE(Q.pop(M));
+  EXPECT_EQ(M, 1u);
+  // Room again: push succeeds and FIFO order continues.
+  EXPECT_TRUE(Q.push(4));
+  ASSERT_TRUE(Q.pop(M));
+  EXPECT_EQ(M, 2u);
+  ASSERT_TRUE(Q.pop(M));
+  EXPECT_EQ(M, 4u);
+}
+
+TEST(RecompileQueue, WrapsAroundRing) {
+  RecompileQueue Q(3);
+  uint32_t M = 0;
+  for (uint32_t Round = 0; Round != 10; ++Round) {
+    EXPECT_TRUE(Q.push(Round));
+    ASSERT_TRUE(Q.pop(M));
+    EXPECT_EQ(M, Round);
+  }
+  EXPECT_TRUE(Q.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// CompileService
+//===----------------------------------------------------------------------===//
+
+TEST(CompileService, RunIsDeterministic) {
+  Program P = testProgram();
+  MachineModel M = MachineModel::ppc7410();
+  RuleSet RS = testRules();
+  TaskPool Pool(1);
+  CompileService A(P, M, testConfig(), &RS, Pool);
+  CompileService B(P, M, testConfig(), &RS, Pool);
+  EXPECT_TRUE(A.run() == B.run());
+}
+
+TEST(CompileService, BitIdenticalAtAnyJobCount) {
+  // The acceptance guarantee: every ServiceStats field -- the AppTime and
+  // MeanQueueDepth doubles included -- is identical at jobs=1 and jobs=4.
+  Program P = testProgram();
+  MachineModel M = MachineModel::ppc7410();
+  RuleSet RS = testRules();
+  TaskPool Serial(1), Wide(4);
+  ServiceStats S1 =
+      CompileService(P, M, testConfig(), &RS, Serial).run();
+  ServiceStats S4 = CompileService(P, M, testConfig(), &RS, Wide).run();
+  EXPECT_TRUE(S1 == S4);
+  // And the run did real tiered work, so the comparison is not vacuous.
+  EXPECT_GT(S1.Promotions, 0u);
+  EXPECT_GT(S1.CompiledMethods, 0u);
+  EXPECT_GT(S1.OptimizedInvocations, 0u);
+  EXPECT_GT(S1.SchedulingWork, 0u);
+}
+
+TEST(CompileService, AccountingInvariantsHold) {
+  Program P = testProgram();
+  MachineModel M = MachineModel::ppc7410();
+  RuleSet RS = testRules();
+  TaskPool Pool(2);
+  ServiceConfig Cfg = testConfig();
+  ServiceStats St = CompileService(P, M, Cfg, &RS, Pool).run();
+
+  EXPECT_EQ(St.Invocations, Cfg.Invocations);
+  EXPECT_EQ(St.BaselineInvocations + St.OptimizedInvocations,
+            St.Invocations);
+  EXPECT_EQ(St.MethodsTotal, P.size());
+  // Promotions either retired or still queued at stream end.
+  EXPECT_EQ(St.Promotions, St.CompiledMethods + St.FinalQueueDepth);
+  EXPECT_EQ(St.CompiledMethods, St.MethodsOptimized);
+  // Every optimizing-tier block got exactly one online filter decision.
+  EXPECT_EQ(St.FilterLS + St.FilterNS, St.BlocksCompiled);
+  EXPECT_EQ(St.FilterLS, St.BlocksScheduled);
+  // The filter's evaluation cost is charged to scheduling work.
+  EXPECT_GE(St.SchedulingWork, St.FilterWork);
+  // Optimization never makes the served stream slower than baseline.
+  EXPECT_LE(St.AppTime, St.BaselineAppTime);
+}
+
+TEST(CompileService, TinyQueueShedsLoadButCatchesUp) {
+  Program P = testProgram();
+  MachineModel M = MachineModel::ppc7410();
+  RuleSet RS = testRules();
+  TaskPool Pool(1);
+  ServiceConfig Cfg = testConfig();
+  Cfg.QueueCap = 1;
+  Cfg.DrainPerEpoch = 1;
+  ServiceStats St = CompileService(P, M, Cfg, &RS, Pool).run();
+  // With a one-slot queue the sampler nominates faster than the drain
+  // retires: backpressure must shed load...
+  EXPECT_GT(St.Deferred, 0u);
+  // ...yet shed methods stay hot and re-nominate, so the service still
+  // promotes a healthy set by stream end.
+  EXPECT_GT(St.MethodsOptimized, 3u);
+  EXPECT_LE(St.MaxQueueDepth, 1u);
+}
+
+TEST(CompileService, HotterThresholdPromotesFewerMethods) {
+  Program P = testProgram();
+  MachineModel M = MachineModel::ppc7410();
+  RuleSet RS = testRules();
+  TaskPool Pool(1);
+  ServiceConfig Cold = testConfig();
+  Cold.HotThreshold = 64;
+  ServiceConfig Hot = testConfig();
+  Hot.HotThreshold = 2;
+  ServiceStats StCold = CompileService(P, M, Cold, &RS, Pool).run();
+  ServiceStats StHot = CompileService(P, M, Hot, &RS, Pool).run();
+  EXPECT_LT(StCold.Promotions, StHot.Promotions);
+  EXPECT_LT(StCold.OptimizedInvocations, StHot.OptimizedInvocations);
+}
+
+TEST(CompileService, UnreachableThresholdKeepsEverythingBaseline) {
+  Program P = testProgram();
+  MachineModel M = MachineModel::ppc7410();
+  TaskPool Pool(1);
+  ServiceConfig Cfg = testConfig();
+  Cfg.HotThreshold = 1000000; // more samples than the stream contains
+  Cfg.OptimizingPolicy = SchedulingPolicy::Always;
+  ServiceStats St = CompileService(P, M, Cfg, nullptr, Pool).run();
+  EXPECT_EQ(St.Promotions, 0u);
+  EXPECT_EQ(St.MethodsOptimized, 0u);
+  EXPECT_EQ(St.OptimizedInvocations, 0u);
+  EXPECT_EQ(St.SchedulingWork, 0u);
+  EXPECT_EQ(St.AppTime, St.BaselineAppTime);
+}
+
+TEST(CompileService, VirtualClockDelaysInstalls) {
+  // A method is never optimized in the epoch that nominates it, so some
+  // invocations always execute at baseline first -- even when every
+  // method eventually promotes.
+  Program P = testProgram(4);
+  MachineModel M = MachineModel::ppc7410();
+  TaskPool Pool(1);
+  ServiceConfig Cfg = testConfig();
+  Cfg.HotThreshold = 1;
+  Cfg.OptimizingPolicy = SchedulingPolicy::Always;
+  ServiceStats St = CompileService(P, M, Cfg, nullptr, Pool).run();
+  // (Not necessarily every method: a sufficiently cold one may never be
+  // drawn at a sampled tick -- sampling is the paper's point.)
+  EXPECT_GE(St.MethodsOptimized, P.size() - 1);
+  EXPECT_GT(St.BaselineInvocations, 0u);
+}
+
+TEST(CompileService, ServeComparisonRecoupsWork) {
+  Program P = testProgram();
+  MachineModel M = MachineModel::ppc7410();
+  RuleSet RS = testRules();
+  TaskPool Pool(2);
+  ServeComparison Cmp =
+      runServeComparison(P, M, testConfig(), RS, Pool);
+  // Identical promotion dynamics by construction...
+  EXPECT_EQ(Cmp.Always.Promotions, Cmp.Filtered.Promotions);
+  EXPECT_EQ(Cmp.Always.CompiledMethods, Cmp.Filtered.CompiledMethods);
+  EXPECT_EQ(Cmp.Always.BaselineAppTime, Cmp.Filtered.BaselineAppTime);
+  // ...so the work delta is the filter's recouped scheduling time.
+  EXPECT_LT(Cmp.Filtered.SchedulingWork, Cmp.Always.SchedulingWork);
+  EXPECT_GT(Cmp.RecoupedWorkFraction, 0.0);
+  EXPECT_LT(Cmp.RecoupedWorkFraction, 1.0);
+}
+
+TEST(CompileService, StreamSeedIsPartOfWorkloadIdentity) {
+  Program P = testProgram();
+  MachineModel M = MachineModel::ppc7410();
+  RuleSet RS = testRules();
+  TaskPool Pool(1);
+  ServiceConfig A = testConfig();
+  ServiceConfig B = testConfig();
+  B.StreamSeed = invocationStreamSeed(43);
+  ServiceStats StA = CompileService(P, M, A, &RS, Pool).run();
+  ServiceStats StB = CompileService(P, M, B, &RS, Pool).run();
+  // Different workload seed, different stream (app time is a sum over
+  // 20k weighted draws; collision would be astronomically unlikely).
+  EXPECT_NE(StA.AppTime, StB.AppTime);
+}

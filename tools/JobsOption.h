@@ -1,10 +1,11 @@
-//===- tools/JobsOption.h - Shared --jobs option handling -------*- C++ -*-===//
+//===- tools/JobsOption.h - Shared numeric flag handling --------*- C++ -*-===//
 ///
 /// \file
-/// One place for the sf-* tools and bench drivers to resolve the --jobs
-/// flag, so the validation and the error message cannot drift between
-/// them.  The engine guarantees results are bit-for-bit identical at any
-/// accepted value (see harness/ParallelExperiments.h), so --jobs is purely
+/// One place for the sf-* tools and bench drivers to resolve strict
+/// decimal-integer flags -- --jobs and sf-serve's service knobs -- so
+/// the validation and the error message cannot drift between them.  The
+/// engine guarantees results are bit-for-bit identical at any accepted
+/// --jobs value (see harness/ParallelExperiments.h), so --jobs is purely
 /// a wall-clock knob.
 ///
 //===----------------------------------------------------------------------===//
@@ -14,40 +15,49 @@
 
 #include "support/CommandLine.h"
 
-#include <cctype>
+#include <cstdint>
 #include <iostream>
 #include <optional>
 
 namespace schedfilter {
 
-/// Resolves --jobs (default 1).  Accepts only a decimal integer in
-/// [1, 4096] (the cap bounds thread explosions and guards overflow);
-/// anything else -- 0, negative values, trailing junk, or an
-/// over-the-cap count -- prints an error naming the accepted range and
-/// returns nullopt so the caller can exit non-zero (a mistyped value
-/// must never silently fall back to serial).
-inline std::optional<unsigned> parseJobsOption(const CommandLine &CL) {
-  constexpr unsigned long MaxJobs = 4096;
-  std::string Value = CL.get("jobs", "1");
+/// Resolves the decimal-integer flag --\p Name in [\p Min, \p Max]:
+/// \p Default when absent, the validated value otherwise.  Anything else
+/// -- an empty value, negatives, trailing junk, out-of-range counts --
+/// prints an error naming the accepted range and returns nullopt so the
+/// caller can exit non-zero (a mistyped knob must never silently fall
+/// back to its default).
+inline std::optional<uint64_t> parseCountOption(const CommandLine &CL,
+                                                const char *Name,
+                                                uint64_t Default,
+                                                uint64_t Min, uint64_t Max) {
+  if (!CL.has(Name))
+    return Default;
+  std::string Value = CL.get(Name);
   bool Valid = !Value.empty();
-  unsigned long Jobs = 0;
+  uint64_t V = 0;
   for (char C : Value) {
-    if (!std::isdigit(static_cast<unsigned char>(C))) {
+    if (C < '0' || C > '9' || V > Max / 10) {
       Valid = false;
       break;
     }
-    Jobs = Jobs * 10 + static_cast<unsigned long>(C - '0');
-    if (Jobs > MaxJobs) {
-      Valid = false;
-      break;
-    }
+    V = V * 10 + static_cast<uint64_t>(C - '0');
   }
-  if (!Valid || Jobs == 0) {
-    std::cerr << "error: --jobs expects an integer in [1, " << MaxJobs
-              << "] (got '" << Value << "')\n";
+  if (!Valid || V < Min || V > Max) {
+    std::cerr << "error: --" << Name << " expects an integer in [" << Min
+              << ", " << Max << "] (got '" << Value << "')\n";
     return std::nullopt;
   }
-  return static_cast<unsigned>(Jobs);
+  return V;
+}
+
+/// Resolves --jobs (default 1).  Accepts only a decimal integer in
+/// [1, 4096] (the cap bounds thread explosions and guards overflow).
+inline std::optional<unsigned> parseJobsOption(const CommandLine &CL) {
+  std::optional<uint64_t> Jobs = parseCountOption(CL, "jobs", 1, 1, 4096);
+  if (!Jobs)
+    return std::nullopt;
+  return static_cast<unsigned>(*Jobs);
 }
 
 } // namespace schedfilter

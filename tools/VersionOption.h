@@ -1,0 +1,49 @@
+//===- tools/VersionOption.h - Shared --version option handling -*- C++ -*-===//
+///
+/// \file
+/// One place for every sf-* tool to answer --version, so a support ticket
+/// can name the exact artifact versions in play: the two corpus-cache key
+/// versions (GeneratorVersion for program synthesis, TracePipelineVersion
+/// for everything downstream of it) and the on-disk format magics (SFTB1
+/// traces, SFCC1 corpus entries).  Those four values fully identify
+/// whether two machines can exchange artifacts and whether a warm cache
+/// is still valid -- which is exactly what a "my trace won't load" or
+/// "my numbers differ" report needs to quote.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_TOOLS_VERSIONOPTION_H
+#define SCHEDFILTER_TOOLS_VERSIONOPTION_H
+
+#include "harness/Experiments.h"
+#include "io/CorpusCache.h"
+#include "io/TraceStore.h"
+#include "support/CommandLine.h"
+#include "workloads/ProgramGenerator.h"
+
+#include <iostream>
+
+namespace schedfilter {
+
+/// Prints \p Tool's version report when --version was given; the caller
+/// exits 0 on true.  Every sf-* tool handles --version before any other
+/// flag validation, so the report is reachable even with otherwise
+/// missing/invalid arguments.
+inline bool handleVersionOption(const CommandLine &CL, const char *Tool) {
+  if (!CL.has("version"))
+    return false;
+  std::cout << Tool << " (schedfilter)\n"
+            << "  generator version:      " << GeneratorVersion
+            << "   (workloads/ProgramGenerator.h)\n"
+            << "  trace-pipeline version: " << TracePipelineVersion
+            << "   (harness/Experiments.h)\n"
+            << "  trace binary format:    " << TraceBinaryMagic
+            << " (io/TraceStore.h)\n"
+            << "  corpus entry format:    " << CorpusEntryMagic
+            << " (io/CorpusCache.h)\n";
+  return true;
+}
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_TOOLS_VERSIONOPTION_H

@@ -12,9 +12,11 @@
 
 #include "harness/Experiments.h"
 #include "ml/Serialization.h"
+#include "runtime/CompileService.h"
 #include "support/CommandLine.h"
 
 #include "ModelOption.h"
+#include "VersionOption.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
@@ -24,15 +26,26 @@
 
 using namespace schedfilter;
 
+static void printUsage(std::ostream &OS) {
+  OS << "usage: sf-apply --rules RULES.txt --benchmark NAME\n"
+        "                [--model ppc7410|ppc970|simple-scalar]"
+        " [--hot FRACTION]\n"
+        "       sf-apply --help | --version\n";
+}
+
 static int usage() {
-  std::cerr << "usage: sf-apply --rules RULES.txt --benchmark NAME\n"
-               "                [--model ppc7410|ppc970|simple-scalar]"
-               " [--hot FRACTION]\n";
+  printUsage(std::cerr);
   return 1;
 }
 
 int main(int argc, char **argv) {
   CommandLine CL(argc, argv);
+  if (CL.has("help")) {
+    printUsage(std::cout);
+    return 0;
+  }
+  if (handleVersionOption(CL, "sf-apply"))
+    return 0;
   std::string RulesPath = CL.get("rules");
   std::string Name = CL.get("benchmark");
   if (RulesPath.empty() || Name.empty())

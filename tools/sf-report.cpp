@@ -22,13 +22,28 @@
 
 #include "EngineOption.h"
 #include "ModelOption.h"
+#include "VersionOption.h"
 
 #include <iostream>
 
 using namespace schedfilter;
 
+static void printUsage(std::ostream &OS) {
+  OS << "usage: sf-report [--suite specjvm98|fp]"
+        " [--model ppc7410|ppc970|simple-scalar]\n"
+        "                 [--fig4-holdout NAME] [--jobs N]"
+        " [--corpus-dir DIR | --no-cache]\n"
+        "       sf-report --help | --version\n";
+}
+
 int main(int argc, char **argv) {
   CommandLine CL(argc, argv);
+  if (CL.has("help")) {
+    printUsage(std::cout);
+    return 0;
+  }
+  if (handleVersionOption(CL, "sf-report"))
+    return 0;
   std::string SuiteName = CL.get("suite", "specjvm98");
   std::vector<BenchmarkSpec> Suite;
   if (SuiteName == "specjvm98")

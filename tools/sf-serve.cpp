@@ -1,0 +1,243 @@
+//===- tools/sf-serve.cpp - Serve a method-invocation stream ----------------===//
+//
+// The runtime half of the reproduction: replay a benchmark's method
+// invocation stream through the CompileService (baseline tier, sampling
+// based hotness counters, bounded recompilation queue, optimizing tier)
+// and report what the induced filter recoups once scheduling cost is paid
+// at run time -- the regime of the paper's host JIT (§3.1).
+//
+// The service runs the identical stream twice: optimizing tier = LS
+// (schedule every block of every promoted method) and optimizing tier =
+// L/N (the filter decides per block).  Promotion dynamics are identical
+// in both runs, so the work delta is purely the filter's doing.
+//
+// Everything printed to stdout is deterministic: bit-identical at any
+// --jobs value and with a cold or warm corpus cache.  Wall-clock
+// throughput goes to stderr.
+//
+// Usage:
+//   sf-serve --benchmark NAME [--rules RULES.txt | --threshold T]
+//            [--model ppc7410|ppc970|simple-scalar]
+//            [--invocations N] [--hot-threshold N] [--queue-cap N]
+//            [--sample-every N] [--epoch-len N] [--drain N]
+//            [--jobs N] [--corpus-dir DIR | --no-cache]
+//   sf-serve --list
+//   sf-serve --help | --version
+//
+// Without --rules the filter is trained on the benchmark's own trace at
+// --threshold (default 0) -- the self-training upper bound; the trace
+// comes from the corpus cache when warm.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/ParallelExperiments.h"
+#include "ml/Serialization.h"
+#include "runtime/CompileService.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+#include "support/Timer.h"
+
+#include "EngineOption.h"
+#include "ModelOption.h"
+#include "VersionOption.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+using namespace schedfilter;
+
+namespace {
+
+void printUsage(std::ostream &OS) {
+  OS << "usage: sf-serve --benchmark NAME [--rules RULES.txt |"
+        " --threshold T]\n"
+        "                [--model ppc7410|ppc970|simple-scalar]\n"
+        "                [--invocations N] [--hot-threshold N]"
+        " [--queue-cap N]\n"
+        "                [--sample-every N] [--epoch-len N] [--drain N]\n"
+        "                [--jobs N] [--corpus-dir DIR | --no-cache]\n"
+        "       sf-serve --list\n"
+        "       sf-serve --help | --version\n";
+}
+
+/// Resolves --threshold (a percentage in [0, 100]) with the same
+/// strictness as the integer knobs: trailing junk or out-of-range values
+/// error out, never silently fall back to the default.
+bool parseThresholdFlag(const CommandLine &CL, double &Out) {
+  if (!CL.has("threshold")) {
+    Out = 0.0;
+    return true;
+  }
+  std::string Value = CL.get("threshold");
+  char *End = nullptr;
+  double V = std::strtod(Value.c_str(), &End);
+  if (End == Value.c_str() || *End != '\0' || !(V >= 0.0 && V <= 100.0)) {
+    std::cerr << "error: --threshold expects a percentage in [0, 100] "
+                 "(got '" << Value << "')\n";
+    return false;
+  }
+  Out = V;
+  return true;
+}
+
+std::string formatKiloUnits(uint64_t Units) {
+  return formatDouble(static_cast<double>(Units) / 1e3, 1) + "k";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CommandLine CL(argc, argv);
+  if (CL.has("help")) {
+    printUsage(std::cout);
+    return 0;
+  }
+  if (handleVersionOption(CL, "sf-serve"))
+    return 0;
+  if (CL.has("list")) {
+    for (const auto &Suite : {specjvm98Suite(), fpSuite()})
+      for (const BenchmarkSpec &S : Suite)
+        std::cout << S.Name << "\t" << S.Description << '\n';
+    return 0;
+  }
+
+  std::string Name = CL.get("benchmark");
+  if (Name.empty()) {
+    printUsage(std::cerr);
+    return 1;
+  }
+  const BenchmarkSpec *Spec = findBenchmarkSpec(Name);
+  if (!Spec) {
+    std::cerr << "error: unknown benchmark '" << Name << "' (try --list)\n";
+    return 1;
+  }
+
+  std::optional<MachineModel> Model = parseModelOption(CL);
+  if (!Model)
+    return 1;
+  std::optional<EngineHandle> Handle = parseEngineOptions(CL);
+  if (!Handle)
+    return 1;
+  ExperimentEngine &Engine = **Handle;
+
+  ServiceConfig Cfg;
+  std::optional<uint64_t> Invocations =
+      parseCountOption(CL, "invocations", Cfg.Invocations, 1, 1000000000);
+  std::optional<uint64_t> HotThreshold =
+      parseCountOption(CL, "hot-threshold", Cfg.HotThreshold, 1, 1000000);
+  std::optional<uint64_t> QueueCap =
+      parseCountOption(CL, "queue-cap", Cfg.QueueCap, 1, 1000000);
+  std::optional<uint64_t> SampleEvery =
+      parseCountOption(CL, "sample-every", Cfg.SampleEvery, 1, 1000000);
+  std::optional<uint64_t> EpochLen =
+      parseCountOption(CL, "epoch-len", Cfg.EpochLen, 1, 100000000);
+  std::optional<uint64_t> Drain =
+      parseCountOption(CL, "drain", Cfg.DrainPerEpoch, 1, 1000000);
+  if (!Invocations || !HotThreshold || !QueueCap || !SampleEvery ||
+      !EpochLen || !Drain)
+    return 1;
+  Cfg.Invocations = *Invocations;
+  Cfg.HotThreshold = static_cast<uint32_t>(*HotThreshold);
+  Cfg.QueueCap = static_cast<uint32_t>(*QueueCap);
+  Cfg.SampleEvery = static_cast<uint32_t>(*SampleEvery);
+  Cfg.EpochLen = static_cast<uint32_t>(*EpochLen);
+  Cfg.DrainPerEpoch = static_cast<uint32_t>(*Drain);
+  Cfg.StreamSeed = invocationStreamSeed(Spec->Seed);
+
+  // The optimizing-tier filter: deserialized from --rules, or self-trained
+  // on the benchmark's own trace (corpus-cache-served when warm).  The
+  // self-training path already synthesized the program; reuse it instead
+  // of generating it a second time.
+  std::string RulesPath = CL.get("rules");
+  RuleSet Rules(Label::NS);
+  std::optional<Program> P;
+  if (!RulesPath.empty()) {
+    if (CL.has("threshold")) {
+      std::cerr << "error: --rules and --threshold are mutually exclusive "
+                   "(the threshold labels the self-training trace)\n";
+      return 1;
+    }
+    std::ifstream IS(RulesPath);
+    if (!IS) {
+      std::cerr << "error: cannot open rules '" << RulesPath << "'\n";
+      return 1;
+    }
+    ParseResult<RuleSet> Parsed = readRuleSet(IS);
+    if (!Parsed) {
+      const ParseError &E = Parsed.error();
+      std::cerr << "error: " << RulesPath
+                << (E.Line ? ":" + std::to_string(E.Line) : "") << ": "
+                << E.Message << '\n';
+      return 1;
+    }
+    Rules = std::move(*Parsed);
+  } else {
+    double Threshold = 0.0;
+    if (!parseThresholdFlag(CL, Threshold))
+      return 1;
+    std::cerr << "training filter on " << Name << "'s own trace (t = "
+              << Threshold << "; tracing on cache miss)...\n";
+    std::vector<BenchmarkRun> Runs =
+        Engine.generateSuiteData({*Spec}, *Model);
+    std::vector<Dataset> Labeled = Engine.labelSuite(Runs, Threshold);
+    Rules = ripperLearner()(Labeled[0]);
+    P = std::move(Runs[0].Prog);
+  }
+  if (!P)
+    P = ProgramGenerator(*Spec).generate();
+
+  AccumulatingTimer Wall;
+  Wall.start();
+  ServeComparison Cmp =
+      runServeComparison(*P, *Model, Cfg, Rules, Engine.pool());
+  Wall.stop();
+
+  // --- Deterministic report (stdout). ---
+  const ServiceStats &LS = Cmp.Always;
+  const ServiceStats &LN = Cmp.Filtered;
+  std::cout << Name << " on " << Model->getName() << ": " << LS.Invocations
+            << " invocations, sample every " << Cfg.SampleEvery
+            << ", hot threshold " << Cfg.HotThreshold << ",\nqueue cap "
+            << Cfg.QueueCap << ", drain " << Cfg.DrainPerEpoch
+            << "/epoch, epoch " << Cfg.EpochLen << " (" << LS.Epochs
+            << " epochs)\n\n";
+
+  std::cout << "tier residency (L/N run): " << LN.BaselineInvocations
+            << " baseline / " << LN.OptimizedInvocations
+            << " optimized invocations; " << LN.MethodsOptimized << "/"
+            << LN.MethodsTotal << " methods optimized\n";
+  std::cout << "recompilation queue: max depth " << LN.MaxQueueDepth
+            << ", mean " << formatDouble(LN.MeanQueueDepth, 2) << ", "
+            << LN.Deferred << " deferred (backpressure), "
+            << LN.FinalQueueDepth << " still queued\n\n";
+
+  TablePrinter T({"Opt tier", "Compiled", "Blocks", "Scheduled",
+                  "Work units", "Filter work", "App time vs baseline"});
+  for (const ServiceStats *St : {&LS, &LN})
+    T.addRow({St == &LS ? "LS" : "L/N", std::to_string(St->CompiledMethods),
+              std::to_string(St->BlocksCompiled),
+              std::to_string(St->BlocksScheduled),
+              std::to_string(St->SchedulingWork),
+              std::to_string(St->FilterWork),
+              formatDouble(St->AppTime / St->BaselineAppTime, 4)});
+  T.print(std::cout);
+
+  std::cout << "\nonline filter decisions (optimizing tier): " << LN.FilterLS
+            << " LS, " << LN.FilterNS << " NS\n";
+  std::cout << "recouped scheduling work: "
+            << formatPercent(Cmp.RecoupedWorkFraction, 1) << " (LS "
+            << formatKiloUnits(LS.SchedulingWork) << " units -> L/N "
+            << formatKiloUnits(LN.SchedulingWork) << " units)\n";
+
+  // --- Wall-clock throughput (stderr: varies run to run, backs nothing
+  // deterministic). ---
+  double Seconds = Wall.seconds();
+  double Served = 2.0 * static_cast<double>(LS.Invocations);
+  std::cerr << "throughput: " << Served << " invocations served in "
+            << formatDouble(Seconds * 1e3, 1) << " ms ("
+            << formatDouble(Seconds > 0.0 ? Served / Seconds / 1e6 : 0.0, 2)
+            << "M inv/s across both runs)\n";
+  return 0;
+}

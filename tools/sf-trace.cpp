@@ -26,23 +26,35 @@
 
 #include "EngineOption.h"
 #include "ModelOption.h"
+#include "VersionOption.h"
 
 #include <fstream>
 #include <iostream>
 
 using namespace schedfilter;
 
+static void printUsage(std::ostream &OS) {
+  OS << "usage: sf-trace --benchmark NAME"
+        " [--model ppc7410|ppc970|simple-scalar] [--out FILE]\n"
+        "                [--format csv|binary] [--jobs N]"
+        " [--corpus-dir DIR | --no-cache]\n"
+        "       sf-trace --list\n"
+        "       sf-trace --help | --version\n";
+}
+
 static int usage() {
-  std::cerr << "usage: sf-trace --benchmark NAME"
-               " [--model ppc7410|ppc970|simple-scalar] [--out FILE]\n"
-               "                [--format csv|binary] [--jobs N]"
-               " [--corpus-dir DIR | --no-cache]\n"
-               "       sf-trace --list\n";
+  printUsage(std::cerr);
   return 1;
 }
 
 int main(int argc, char **argv) {
   CommandLine CL(argc, argv);
+  if (CL.has("help")) {
+    printUsage(std::cout);
+    return 0;
+  }
+  if (handleVersionOption(CL, "sf-trace"))
+    return 0;
 
   if (CL.has("list")) {
     for (const auto &Suite : {specjvm98Suite(), fpSuite()})

@@ -26,21 +26,33 @@
 #include "support/TaskPool.h"
 
 #include "JobsOption.h"
+#include "VersionOption.h"
 
 #include <fstream>
 #include <iostream>
 
 using namespace schedfilter;
 
+static void printUsage(std::ostream &OS) {
+  OS << "usage: sf-train TRACE [TRACE2 ...] [--threshold T]\n"
+        "                [--learner ripper|tree|oner|stump]"
+        " [--out RULES.txt] [--jobs N]\n"
+        "       sf-train --help | --version\n";
+}
+
 static int usage() {
-  std::cerr << "usage: sf-train TRACE [TRACE2 ...] [--threshold T]\n"
-               "                [--learner ripper|tree|oner|stump]"
-               " [--out RULES.txt] [--jobs N]\n";
+  printUsage(std::cerr);
   return 1;
 }
 
 int main(int argc, char **argv) {
   CommandLine CL(argc, argv);
+  if (CL.has("help")) {
+    printUsage(std::cout);
+    return 0;
+  }
+  if (handleVersionOption(CL, "sf-train"))
+    return 0;
   if (CL.positional().empty())
     return usage();
 
