@@ -48,3 +48,7 @@ std::vector<double> schedfilter::paperThresholds() {
 LearnerFn schedfilter::ripperLearner() {
   return [](const Dataset &Train) { return Ripper().train(Train); };
 }
+
+LearnerFn schedfilter::ripperLearner(TaskPool &Pool) {
+  return [&Pool](const Dataset &Train) { return Ripper().train(Train, Pool); };
+}

@@ -111,6 +111,13 @@ std::vector<double> paperThresholds();
 /// Default learner used throughout: RIPPER with its stock options.
 LearnerFn ripperLearner();
 
+/// Pooled default learner: RIPPER with its stock options, fanning the
+/// per-feature candidate scans of each train() call across \p Pool.
+/// Bit-identical to ripperLearner() at any job count, and safe to hand to
+/// the pooled leaveOneOut overload on the same pool (nested parallelFor
+/// runs inline).  \p Pool must outlive the returned functor.
+LearnerFn ripperLearner(TaskPool &Pool);
+
 } // namespace schedfilter
 
 #endif // SCHEDFILTER_HARNESS_EXPERIMENTS_H

@@ -40,7 +40,9 @@ std::vector<LoocvFold> leaveOneOut(const std::vector<Dataset> &PerBenchmark,
 /// a pure function of its training set (learners seed their own Rng), so
 /// the result is bit-for-bit identical to the serial overload at any job
 /// count; fold order always follows the input.  \p Learner must be safe to
-/// invoke concurrently from multiple threads.
+/// invoke concurrently from multiple threads.  A learner that itself fans
+/// out on the same pool (e.g. ripperLearner(Pool)) is fine: nested
+/// parallelFor calls run inline on the worker that owns the fold.
 std::vector<LoocvFold> leaveOneOut(const std::vector<Dataset> &PerBenchmark,
                                    const LearnerFn &Learner, TaskPool &Pool);
 

@@ -26,6 +26,20 @@ size_t Dataset::countLabel(Label L) const {
   return N;
 }
 
+ColumnView Dataset::columns() const {
+  ColumnView CV;
+  CV.NumInstances = Instances.size();
+  CV.Values.resize(static_cast<size_t>(NumFeatures) * CV.NumInstances);
+  CV.Labels.resize(CV.NumInstances);
+  for (size_t I = 0; I != CV.NumInstances; ++I) {
+    CV.Labels[I] = Instances[I].Y;
+    for (unsigned F = 0; F != NumFeatures; ++F)
+      CV.Values[static_cast<size_t>(F) * CV.NumInstances + I] =
+          Instances[I].X[F];
+  }
+  return CV;
+}
+
 void Dataset::writeCsv(std::ostream &OS) const {
   for (unsigned F = 0; F != NumFeatures; ++F)
     OS << getFeatureName(F) << ',';

@@ -30,6 +30,25 @@ struct Instance {
   Label Y;
 };
 
+/// A flat, feature-major (columnar) view of a dataset, for algorithms that
+/// scan one feature across many instances (the indexed RIPPER trainer).
+/// Values are copied bit-exactly from the row-major instances, so a
+/// condition evaluated against a column compares the same doubles as
+/// Condition::matches against the original FeatureVector.  The view is a
+/// snapshot: it does not track later mutation of the source dataset.
+struct ColumnView {
+  size_t NumInstances = 0;
+  /// Values[F * NumInstances + i] == dataset[i].X[F].
+  std::vector<double> Values;
+  /// Labels[i] == dataset[i].Y.
+  std::vector<Label> Labels;
+
+  /// The contiguous column of feature \p F.
+  const double *col(unsigned F) const {
+    return Values.data() + static_cast<size_t>(F) * NumInstances;
+  }
+};
+
 /// A named bag of instances (typically: all blocks of one benchmark).
 class Dataset {
 public:
@@ -54,6 +73,9 @@ public:
 
   /// Number of instances with label \p L.
   size_t countLabel(Label L) const;
+
+  /// Builds a feature-major snapshot of the instances (see ColumnView).
+  ColumnView columns() const;
 
   /// Writes instances as CSV: feature columns then the label name.
   void writeCsv(std::ostream &OS) const;

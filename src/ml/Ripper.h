@@ -22,6 +22,15 @@
 /// All randomness (grow/prune splits) comes from a seeded Rng, so training
 /// is fully deterministic.
 ///
+/// The trainer is the repository's *indexed* engine (see Ripper.cpp): it
+/// sorts each feature column once per train() call over a flat
+/// Dataset::ColumnView and sweeps candidate conditions over bit-set
+/// coverage of presorted, shrinking per-feature universes, instead of
+/// re-sorting every feature column for every candidate condition.  The
+/// pooled overload fans the per-feature sweeps across a shared TaskPool;
+/// output is bit-for-bit identical to the serial overload at any job
+/// count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCHEDFILTER_ML_RIPPER_H
@@ -31,6 +40,8 @@
 #include "support/Rng.h"
 
 namespace schedfilter {
+
+class TaskPool;
 
 /// Tunable knobs; the defaults mirror Cohen's published settings.
 struct RipperOptions {
@@ -58,6 +69,13 @@ public:
   /// style).  An empty or single-class dataset yields an empty rule set
   /// whose default class is the majority (or NS when empty).
   RuleSet train(const Dataset &Data) const;
+
+  /// Pooled variant: fans the per-feature candidate-condition sweeps of
+  /// the grow phase out across \p Pool's workers, with a deterministic
+  /// argmax reduction (lowest feature index wins ties).  Bit-for-bit the
+  /// same RuleSet as the serial overload at any job count; safe to call
+  /// from inside a pool task (nested loops run inline).
+  RuleSet train(const Dataset &Data, TaskPool &Pool) const;
 
 private:
   RipperOptions Opts;

@@ -11,7 +11,11 @@
 #ifndef SCHEDFILTER_SUPPORT_COMMANDLINE_H
 #define SCHEDFILTER_SUPPORT_COMMANDLINE_H
 
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,12 +53,31 @@ public:
     return It == Options.end() ? Default : It->second;
   }
 
-  /// Returns the option parsed as double, or \p Default.
-  double getDouble(const std::string &Name, double Default) const {
+  /// Returns \p Default when the option is absent, the strictly-parsed
+  /// value otherwise.  The whole token must be a finite decimal number:
+  /// trailing garbage, NaN, infinities and out-of-double-range values all
+  /// print an "--name: expected a number, got '...'" diagnostic and
+  /// return nullopt so the caller can exit non-zero -- a mistyped numeric
+  /// flag must never silently parse as 0 or fall back to its default
+  /// (same contract as the integer knobs in tools/JobsOption.h).
+  std::optional<double> getDouble(const std::string &Name,
+                                  double Default) const {
     auto It = Options.find(Name);
     if (It == Options.end())
       return Default;
-    return std::strtod(It->second.c_str(), nullptr);
+    const std::string &Value = It->second;
+    char *End = nullptr;
+    double V = std::strtod(Value.c_str(), &End);
+    // strtod also parses C99 hex-float spellings ("0x10", "0x1p3");
+    // reject them to keep the decimal-only contract.
+    bool Hex = Value.find('x') != std::string::npos ||
+               Value.find('X') != std::string::npos;
+    if (Hex || End == Value.c_str() || *End != '\0' || !std::isfinite(V)) {
+      std::cerr << "error: --" << Name << ": expected a number, got '"
+                << Value << "'\n";
+      return std::nullopt;
+    }
+    return V;
   }
 
   bool has(const std::string &Name) const { return Options.count(Name) != 0; }

@@ -51,6 +51,26 @@ int main(int argc, char **argv) {
   if (RulesPath.empty() || Name.empty())
     return usage();
 
+  // Validate every flag before touching any file, so a mistyped knob
+  // fails fast regardless of the rules file's state.
+  const BenchmarkSpec *Spec = findBenchmarkSpec(Name);
+  if (!Spec) {
+    std::cerr << "error: unknown benchmark '" << Name << "'\n";
+    return 1;
+  }
+  std::optional<MachineModel> Model = parseModelOption(CL);
+  if (!Model)
+    return 1;
+  std::optional<double> HotFlag = CL.getDouble("hot", 1.0);
+  if (!HotFlag)
+    return 1;
+  if (!(*HotFlag >= 0.0 && *HotFlag <= 1.0)) {
+    std::cerr << "error: --hot expects a fraction in [0, 1] (got '"
+              << CL.get("hot") << "')\n";
+    return 1;
+  }
+  double Hot = *HotFlag;
+
   std::ifstream IS(RulesPath);
   if (!IS) {
     std::cerr << "error: cannot open rules '" << RulesPath << "'\n";
@@ -64,17 +84,6 @@ int main(int argc, char **argv) {
               << E.Message << '\n';
     return 1;
   }
-
-  const BenchmarkSpec *Spec = findBenchmarkSpec(Name);
-  if (!Spec) {
-    std::cerr << "error: unknown benchmark '" << Name << "'\n";
-    return 1;
-  }
-
-  std::optional<MachineModel> Model = parseModelOption(CL);
-  if (!Model)
-    return 1;
-  double Hot = CL.getDouble("hot", 1.0);
 
   Program P = ProgramGenerator(*Spec).generate();
   ScheduleFilter Filter(*Rules);

@@ -42,7 +42,6 @@
 #include "ModelOption.h"
 #include "VersionOption.h"
 
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
@@ -62,23 +61,20 @@ void printUsage(std::ostream &OS) {
         "       sf-serve --help | --version\n";
 }
 
-/// Resolves --threshold (a percentage in [0, 100]) with the same
-/// strictness as the integer knobs: trailing junk or out-of-range values
-/// error out, never silently fall back to the default.
+/// Resolves --threshold (a percentage in [0, 100]): the strict shared
+/// numeric parse (CommandLine::getDouble) plus the range check.  Trailing
+/// junk or out-of-range values error out, never silently fall back to the
+/// default -- identically across all five sf-* tools.
 bool parseThresholdFlag(const CommandLine &CL, double &Out) {
-  if (!CL.has("threshold")) {
-    Out = 0.0;
-    return true;
-  }
-  std::string Value = CL.get("threshold");
-  char *End = nullptr;
-  double V = std::strtod(Value.c_str(), &End);
-  if (End == Value.c_str() || *End != '\0' || !(V >= 0.0 && V <= 100.0)) {
+  std::optional<double> V = CL.getDouble("threshold", 0.0);
+  if (!V)
+    return false;
+  if (!(*V >= 0.0 && *V <= 100.0)) {
     std::cerr << "error: --threshold expects a percentage in [0, 100] "
-                 "(got '" << Value << "')\n";
+                 "(got '" << CL.get("threshold") << "')\n";
     return false;
   }
-  Out = V;
+  Out = *V;
   return true;
 }
 
@@ -182,7 +178,7 @@ int main(int argc, char **argv) {
     std::vector<BenchmarkRun> Runs =
         Engine.generateSuiteData({*Spec}, *Model);
     std::vector<Dataset> Labeled = Engine.labelSuite(Runs, Threshold);
-    Rules = ripperLearner()(Labeled[0]);
+    Rules = ripperLearner(Engine.pool())(Labeled[0]);
     P = std::move(Runs[0].Prog);
   }
   if (!P)

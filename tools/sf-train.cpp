@@ -11,8 +11,10 @@
 //            [--learner ripper|tree|oner|stump] [--out RULES.txt]
 //            [--jobs N]
 //
-// --jobs N reads and labels the traces on N workers; traces are merged in
-// command-line order, so the induced filter is identical at any N.
+// --jobs N reads and labels the traces on N workers and fans the RIPPER
+// grow phase's per-feature candidate scans across the same pool; traces
+// are merged in command-line order and the learner reduces its argmax in
+// feature order, so the induced filter is byte-identical at any N.
 //
 //===----------------------------------------------------------------------===//
 
@@ -56,7 +58,14 @@ int main(int argc, char **argv) {
   if (CL.positional().empty())
     return usage();
 
-  double Threshold = CL.getDouble("threshold", 0.0);
+  std::optional<double> Threshold = CL.getDouble("threshold", 0.0);
+  if (!Threshold)
+    return 1;
+  if (!(*Threshold >= 0.0 && *Threshold <= 100.0)) {
+    std::cerr << "error: --threshold expects a percentage in [0, 100] "
+                 "(got '" << CL.get("threshold") << "')\n";
+    return 1;
+  }
   std::string LearnerName = CL.get("learner", "ripper");
   std::optional<unsigned> Jobs = parseJobsOption(CL);
   if (!Jobs)
@@ -79,7 +88,7 @@ int main(int argc, char **argv) {
       return;
     }
     BlockCounts[I] = Records->size();
-    Labeled[I] = buildDataset(*Records, Threshold, Paths[I]);
+    Labeled[I] = buildDataset(*Records, *Threshold, Paths[I]);
   });
 
   Dataset Train("train");
@@ -94,13 +103,13 @@ int main(int argc, char **argv) {
   }
 
   std::cerr << "labeled " << Train.size() << " of " << TotalBlocks
-            << " blocks at t = " << Threshold << " ("
+            << " blocks at t = " << *Threshold << " ("
             << Train.countLabel(Label::LS) << " LS, "
             << Train.countLabel(Label::NS) << " NS)\n";
 
   RuleSet Filter(Label::NS);
   if (LearnerName == "ripper")
-    Filter = Ripper().train(Train);
+    Filter = Ripper().train(Train, Pool);
   else if (LearnerName == "tree")
     Filter = learnDecisionTreeRules(Train);
   else if (LearnerName == "oner")
