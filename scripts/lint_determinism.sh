@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# Determinism lint: greps result-affecting sources for constructs that
+# break the repo's bit-identical-output contract (ROADMAP "deterministic
+# at any --jobs").  Each banned pattern either injects wall-clock or OS
+# entropy (rand, srand, time(), random_device, wall-clock chrono) or
+# iterates in hash order (unordered_map/unordered_set), which varies
+# across libstdc++ versions and seeds.
+#
+# Allowlist: files whose use is audited and does not affect any printed
+# result (e.g. the stderr-only wall-clock timer).  Keep it short; add a
+# line here only together with a comment in the offending file saying
+# why the use is result-neutral.
+#
+# Usage: scripts/lint_determinism.sh [SRC_DIR ...]
+#   (defaults to src tools bench, relative to the repo root)
+set -eu
+
+cd "$(dirname "$0")/.."
+dirs=${*:-"src tools bench"}
+
+# file:pattern pairs exempted after audit.
+allow() {
+  case "$1" in
+  # Timer.h: steady_clock feeds stderr throughput lines only; every
+  # stdout byte is derived from the deterministic simulators.
+  src/support/Timer.h:*clock*) return 0 ;;
+  *) return 1 ;;
+  esac
+}
+
+status=0
+check() {
+  pattern=$1
+  why=$2
+  # -I skips binaries; -n gives file:line for clickable diagnostics.
+  hits=$(grep -rInE "$pattern" $dirs --include='*.h' --include='*.cpp' ||
+    true)
+  [ -z "$hits" ] && return 0
+  printf '%s\n' "$hits" | while IFS= read -r hit; do
+    file=${hit%%:*}
+    if ! allow "$file:$pattern"; then
+      echo "determinism lint: $hit" >&2
+      echo "  banned: $why" >&2
+      echo 1 >"$tmp/failed"
+    fi
+  done
+}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+check '\brand\(' 'rand() draws from hidden global state; use support/Rng'
+check '\bsrand\(' 'srand() reseeds global state; use support/Rng with a fixed seed'
+check 'time\(nullptr\)|time\(NULL\)|time\(0\)' \
+  'wall-clock seeding is nondeterministic; derive seeds from names/indices'
+check 'random_device' \
+  'std::random_device is OS entropy; use support/Rng with a fixed seed'
+check 'system_clock|high_resolution_clock|steady_clock' \
+  'wall-clock time must never reach stdout; only the audited Timer may use it'
+check 'unordered_map|unordered_set' \
+  'hash-order iteration varies across platforms; use std::map/sorted vectors'
+
+if [ -f "$tmp/failed" ]; then
+  echo "determinism lint FAILED (see above)" >&2
+  exit 1
+fi
+echo "determinism lint: clean ($dirs)"

@@ -45,13 +45,27 @@ namespace {
 /// indices into one Dataset.
 using IndexList = std::vector<int>;
 
+/// Thread-safe lgamma: the C lgamma() stores the gamma function's sign
+/// in the global `signgam`, which is a data race when pool workers train
+/// concurrently (ThreadSanitizer flags it).  lgamma_r returns the same
+/// bits with the sign in an out-parameter instead.  All call sites pass
+/// arguments >= 1, so the discarded sign is always +1.
+double logGamma(double X) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int Sign;
+  return lgamma_r(X, &Sign);
+#else
+  return std::lgamma(X);
+#endif
+}
+
 /// log2 of the binomial coefficient C(n, k), via lgamma for stability.
 double log2Binomial(size_t N, size_t K) {
   if (K > N)
     return 0.0;
-  double L = std::lgamma(static_cast<double>(N) + 1.0) -
-             std::lgamma(static_cast<double>(K) + 1.0) -
-             std::lgamma(static_cast<double>(N - K) + 1.0);
+  double L = logGamma(static_cast<double>(N) + 1.0) -
+             logGamma(static_cast<double>(K) + 1.0) -
+             logGamma(static_cast<double>(N - K) + 1.0);
   return L / std::log(2.0);
 }
 

@@ -2,6 +2,7 @@
 
 #include "ml/Serialization.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <istream>
@@ -82,10 +83,21 @@ std::optional<Condition> parseCondition(const std::string &Text,
     Why = "condition on '" + FeatName + "' is missing its threshold";
     return std::nullopt;
   }
+  // Strict full-token parse, mirroring CommandLine::getDouble: strtod
+  // accepts "nan", "inf"/"-inf", hex floats and partial prefixes, all of
+  // which must be rejected -- a NaN threshold creates a never-matching
+  // condition and poisons RuleSet::minMatchableBBLen.
+  bool Hex = ValText.find('x') != std::string::npos ||
+             ValText.find('X') != std::string::npos;
   char *End = nullptr;
   double Threshold = std::strtod(ValText.c_str(), &End);
-  if (End != ValText.c_str() + ValText.size()) {
+  if (Hex || End != ValText.c_str() + ValText.size()) {
     Why = "threshold '" + ValText + "' is not a number";
+    return std::nullopt;
+  }
+  if (!std::isfinite(Threshold)) {
+    Why = "threshold '" + ValText + "' is not finite (NaN and infinite "
+          "thresholds create never-matching conditions)";
     return std::nullopt;
   }
   return Condition{Feature, IsLE, Threshold};
@@ -93,7 +105,7 @@ std::optional<Condition> parseCondition(const std::string &Text,
 
 } // namespace
 
-ParseResult<RuleSet> schedfilter::readRuleSet(std::istream &IS) {
+ParseResult<RuleSetFile> schedfilter::readRuleSetFile(std::istream &IS) {
   std::string Line;
   size_t LineNo = 0;
 
@@ -113,7 +125,8 @@ ParseResult<RuleSet> schedfilter::readRuleSet(std::istream &IS) {
                       "expected 'default LS' or 'default NS', got '" +
                           DefaultLine + "'"};
 
-  RuleSet RS(*Default);
+  RuleSetFile File;
+  File.Rules.setDefaultClass(*Default);
   while (std::getline(IS, Line)) {
     ++LineNo;
     std::string T = trim(Line);
@@ -147,7 +160,15 @@ ParseResult<RuleSet> schedfilter::readRuleSet(std::istream &IS) {
         return ParseError{LineNo, "rule body is empty (use 'true' for a "
                                   "match-all rule)"};
     }
-    RS.addRule(std::move(R));
+    File.Rules.addRule(std::move(R));
+    File.RuleLines.push_back(LineNo);
   }
-  return RS;
+  return File;
+}
+
+ParseResult<RuleSet> schedfilter::readRuleSet(std::istream &IS) {
+  ParseResult<RuleSetFile> File = readRuleSetFile(IS);
+  if (!File)
+    return File.error();
+  return std::move(File->Rules);
 }

@@ -33,9 +33,24 @@ namespace schedfilter {
 void writeRuleSet(const RuleSet &RS, std::ostream &OS);
 
 /// Parses the v1 text format; a syntax error carries the 1-based line
-/// number and a specific message.  Coverage counts are not part of the
-/// format (they are training artifacts) and come back zeroed.
+/// number and a specific message.  Thresholds are parsed strictly: the
+/// whole token must be a finite decimal number -- "nan", "inf"/"-inf",
+/// hex floats and trailing junk are all rejected with a line diagnostic
+/// (a NaN threshold would silently create a never-matching condition and
+/// poison RuleSet::minMatchableBBLen).  Coverage counts are not part of
+/// the format (they are training artifacts) and come back zeroed.
 ParseResult<RuleSet> readRuleSet(std::istream &IS);
+
+/// A parsed rule set plus the 1-based source line of each rule, so the
+/// static analyzer (analysis/RuleAnalysis.h) can report findings in the
+/// io/ file:line discipline ("rules.txt:7: warning: rule #3 ...").
+struct RuleSetFile {
+  RuleSet Rules{Label::NS};
+  std::vector<size_t> RuleLines; ///< RuleLines[i] = source line of rule i.
+};
+
+/// Like readRuleSet, but also records where each rule came from.
+ParseResult<RuleSetFile> readRuleSetFile(std::istream &IS);
 
 /// Looks up a feature index by its Table 1 name ("bbLen", "loads", ...);
 /// returns NumFeatures when unknown.

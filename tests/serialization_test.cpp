@@ -190,6 +190,64 @@ TEST(Serialization, RejectsBadLabel) {
   EXPECT_FALSE(readRuleSet(SS).has_value());
 }
 
+TEST(Serialization, RejectsNonFiniteThresholds) {
+  // strtod happily parses "nan", "inf" and friends, but a non-finite
+  // threshold makes the condition never (or vacuously) match; the parser
+  // must reject it with a line diagnostic naming the offending token.
+  for (const char *Bad : {"nan", "NaN", "-nan", "inf", "INF", "-inf",
+                          "infinity", "1e999", "-1e999"}) {
+    std::stringstream SS(std::string("schedfilter-rules v1\n"
+                                     "default NS\n"
+                                     "rule LS :- bbLen >= ") +
+                         Bad + "\n");
+    ParseResult<RuleSet> R = readRuleSet(SS);
+    ASSERT_FALSE(R.has_value()) << "accepted threshold '" << Bad << "'";
+    EXPECT_EQ(R.error().Line, 3u) << Bad;
+    EXPECT_NE(R.error().Message.find("finite"), std::string::npos) << Bad;
+  }
+}
+
+TEST(Serialization, RejectsHexAndTrailingJunkThresholds) {
+  for (const char *Bad : {"0x10", "0X10", "7junk", "1.5.2", "3,0"}) {
+    std::stringstream SS(std::string("schedfilter-rules v1\n"
+                                     "default NS\n"
+                                     "rule LS :- loads <= ") +
+                         Bad + "\n");
+    ParseResult<RuleSet> R = readRuleSet(SS);
+    EXPECT_FALSE(R.has_value()) << "accepted threshold '" << Bad << "'";
+  }
+}
+
+TEST(Serialization, AcceptsOrdinaryNumericThresholds) {
+  // The strict parse must not over-reject: plain, signed, scientific and
+  // dotted forms are all legitimate learner/hand-editor output.
+  for (const char *Good : {"7", "-7", "0.375", ".5", "1e-3", "1E3",
+                           "5e-324", "-0.0", "00012"}) {
+    std::stringstream SS(std::string("schedfilter-rules v1\n"
+                                     "default NS\n"
+                                     "rule LS :- stores <= ") +
+                         Good + "\n");
+    ParseResult<RuleSet> R = readRuleSet(SS);
+    EXPECT_TRUE(R.has_value()) << "rejected threshold '" << Good
+                               << "': " << R.error().str();
+  }
+}
+
+TEST(Serialization, RuleSetFileRecordsRuleLines) {
+  std::stringstream SS("schedfilter-rules v1\n"
+                       "default NS\n"
+                       "# comment\n"
+                       "rule LS :- bbLen >= 7\n"
+                       "\n"
+                       "rule NS :- loads <= 0.5\n");
+  ParseResult<RuleSetFile> F = readRuleSetFile(SS);
+  ASSERT_TRUE(F.has_value()) << F.error().str();
+  ASSERT_EQ(F->Rules.size(), 2u);
+  ASSERT_EQ(F->RuleLines.size(), 2u);
+  EXPECT_EQ(F->RuleLines[0], 4u);
+  EXPECT_EQ(F->RuleLines[1], 6u);
+}
+
 TEST(Serialization, FeatureNameLookup) {
   EXPECT_EQ(findFeatureByName("bbLen"), static_cast<unsigned>(FeatBBLen));
   EXPECT_EQ(findFeatureByName("loads"), static_cast<unsigned>(FeatLoad));

@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/RuleAnalysis.h"
 #include "harness/Experiments.h"
 #include "ml/Serialization.h"
 #include "runtime/CompileService.h"
@@ -76,7 +77,7 @@ int main(int argc, char **argv) {
     std::cerr << "error: cannot open rules '" << RulesPath << "'\n";
     return 1;
   }
-  ParseResult<RuleSet> Rules = readRuleSet(IS);
+  ParseResult<RuleSetFile> Rules = readRuleSetFile(IS);
   if (!Rules) {
     const ParseError &E = Rules.error();
     std::cerr << "error: " << RulesPath
@@ -85,8 +86,15 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  // Surface analyzer findings at load time (stderr; the compile proceeds
+  // -- predict() is well-defined even for a sloppy rule set).  sf-lint
+  // gives the full report and can normalize with --fix.
+  RuleAnalysis Lint = analyzeRuleSet(Rules->Rules);
+  if (!Lint.clean())
+    printFindings(Lint, std::cerr, RulesPath, &Rules->RuleLines);
+
   Program P = ProgramGenerator(*Spec).generate();
-  ScheduleFilter Filter(*Rules);
+  ScheduleFilter Filter(Rules->Rules);
 
   CompileReport NS = compileProgramAdaptive(P, *Model,
                                             SchedulingPolicy::Never,

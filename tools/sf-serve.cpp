@@ -30,6 +30,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/RuleAnalysis.h"
 #include "harness/ParallelExperiments.h"
 #include "ml/Serialization.h"
 #include "runtime/CompileService.h"
@@ -160,7 +161,7 @@ int main(int argc, char **argv) {
       std::cerr << "error: cannot open rules '" << RulesPath << "'\n";
       return 1;
     }
-    ParseResult<RuleSet> Parsed = readRuleSet(IS);
+    ParseResult<RuleSetFile> Parsed = readRuleSetFile(IS);
     if (!Parsed) {
       const ParseError &E = Parsed.error();
       std::cerr << "error: " << RulesPath
@@ -168,7 +169,13 @@ int main(int argc, char **argv) {
                 << E.Message << '\n';
       return 1;
     }
-    Rules = std::move(*Parsed);
+    // Load-time lint: a dead or shadowed rule burns serve-path work for
+    // nothing, so say so before the stream starts (stderr; serving
+    // proceeds -- sf-lint --fix normalizes).
+    RuleAnalysis Lint = analyzeRuleSet(Parsed->Rules);
+    if (!Lint.clean())
+      printFindings(Lint, std::cerr, RulesPath, &Parsed->RuleLines);
+    Rules = std::move(Parsed->Rules);
   } else {
     double Threshold = 0.0;
     if (!parseThresholdFlag(CL, Threshold))
@@ -179,6 +186,9 @@ int main(int argc, char **argv) {
         Engine.generateSuiteData({*Spec}, *Model);
     std::vector<Dataset> Labeled = Engine.labelSuite(Runs, Threshold);
     Rules = ripperLearner(Engine.pool())(Labeled[0]);
+    RuleAnalysis Lint = analyzeRuleSet(Rules, &Labeled[0]);
+    if (!Lint.clean())
+      printFindings(Lint, std::cerr);
     P = std::move(Runs[0].Prog);
   }
   if (!P)

@@ -18,6 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/RuleAnalysis.h"
 #include "io/TraceStore.h"
 #include "ml/Baselines.h"
 #include "ml/DecisionTree.h"
@@ -124,6 +125,13 @@ int main(int argc, char **argv) {
   std::cerr << "training error "
             << errorRatePercent(Filter, Train) << "%\n\n";
   std::cout << Filter.toString();
+
+  // Surface analyzer findings on the induced filter (dead/shadowed rules,
+  // redundant conditions, thresholds outside the training range) before
+  // anyone installs it; sf-lint gives the same report for saved files.
+  RuleAnalysis Lint = analyzeRuleSet(Filter, &Train);
+  if (!Lint.clean())
+    printFindings(Lint, std::cerr);
 
   std::string Out = CL.get("out");
   if (!Out.empty()) {
