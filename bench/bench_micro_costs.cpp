@@ -2,30 +2,49 @@
 //
 // Microbenchmarks substantiating the paper's premise that "the filter is
 // much cheaper to apply than instruction scheduling itself": per-block
-// cost of (1) feature extraction, (2) rule-set evaluation, (3) dependence
-// DAG construction, (4) full list scheduling (one-shot and
-// SchedContext-reused), and (5) the block timing simulator, across block
-// sizes.  Uses google-benchmark.
+// cost of (1) feature extraction, (2) rule-set evaluation (interpreted
+// and compiled), (3) dependence DAG construction, (4) full list
+// scheduling (one-shot and SchedContext-reused), and (5) the block timing
+// simulator, across block sizes.  Uses google-benchmark.
 //
-// After the google-benchmark suites, the driver times one-shot vs
-// context-reused scheduling over every block of the fig3 FP suite and
-// writes the blocks/sec comparison to BENCH_schedcontext.json, so the
-// perf trajectory of the allocation-free hot path is tracked run over
-// run.
+// After the google-benchmark suites, the driver runs two tracked
+// comparisons:
+//   * one-shot vs SchedContext-reused scheduling over the fig3 FP suite
+//     -> BENCH_schedcontext.json (--out-schedcontext);
+//   * interpreter vs compiled vs compiled-batch evaluation of the
+//     SPECjvm98 t = 0 filter over every block of the suite, with a
+//     bit-identity cross-check of all three paths
+//     -> BENCH_filter_eval.json (--out-filter-eval).
+//
+// Usage:
+//   bench_micro_costs [--quick] [--jobs N] [--corpus-dir DIR | --no-cache]
+//                     [--out-schedcontext PATH] [--out-filter-eval PATH]
+//                     [google-benchmark flags]
+//
+// --quick skips the google-benchmark suites and shrinks the comparison
+// repetitions for CI smoke runs.  Custom flags are stripped from argv
+// before google-benchmark sees it (it rejects flags it does not know).
 //
 //===----------------------------------------------------------------------===//
 
+#include "features/FeatureMatrix.h"
 #include "features/Features.h"
+#include "filter/CompiledFilter.h"
+#include "harness/ParallelExperiments.h"
 #include "ml/Ripper.h"
 #include "sched/SchedContext.h"
 #include "sim/BlockSimulator.h"
+#include "support/CommandLine.h"
 #include "support/Timer.h"
 #include "workloads/ProgramGenerator.h"
 
+#include "BenchJson.h"
+#include "EngineOption.h"
+
 #include <benchmark/benchmark.h>
 
-#include <fstream>
 #include <iostream>
+#include <sstream>
 
 using namespace schedfilter;
 
@@ -76,6 +95,17 @@ void BM_FilterDecision(benchmark::State &State) {
   State.SetLabel(std::to_string(BB.size()) + " insts");
 }
 
+void BM_FilterDecisionCompiled(benchmark::State &State) {
+  BasicBlock BB = makeBlock(static_cast<int>(State.range(0)));
+  static const RuleSet Filter = makeFilter();
+  static const CompiledFilter Compiled(Filter);
+  for (auto _ : State) {
+    CompiledFilter::Decision D = Compiled.evaluate(extractFeatures(BB));
+    benchmark::DoNotOptimize(D);
+  }
+  State.SetLabel(std::to_string(BB.size()) + " insts");
+}
+
 void BM_DagBuild(benchmark::State &State) {
   BasicBlock BB = makeBlock(static_cast<int>(State.range(0)));
   MachineModel Model = MachineModel::ppc7410();
@@ -122,7 +152,7 @@ void BM_BlockSimulate(benchmark::State &State) {
 /// Times one-shot vs SchedContext-reused scheduling over every block of
 /// the fig3 FP suite (the suite whose blocks genuinely need scheduling)
 /// and writes the blocks/sec comparison to \p JsonPath.
-void runSchedContextComparison(const char *JsonPath) {
+bool runSchedContextComparison(const std::string &JsonPath, bool Quick) {
   MachineModel Model = MachineModel::ppc7410();
   ListScheduler Sched(Model);
 
@@ -132,7 +162,7 @@ void runSchedContextComparison(const char *JsonPath) {
 
   // Pick a repetition count that gives stable timings (~hundreds of ms
   // per side) without inflating bench time on slow machines.
-  const int Reps = 20;
+  const int Reps = Quick ? 5 : 20;
   uint64_t Guard = 0; // defeat dead-code elimination across reps
 
   AccumulatingTimer OneShotTimer;
@@ -160,7 +190,7 @@ void runSchedContextComparison(const char *JsonPath) {
   double ReusedRate = Scheduled / ReusedTimer.seconds();
   double Speedup = ReusedRate / OneShotRate;
 
-  std::ofstream OS(JsonPath);
+  std::ostringstream OS;
   OS << "{\n"
      << "  \"suite\": \"fp\",\n"
      << "  \"blocks\": " << Blocks.size() << ",\n"
@@ -179,25 +209,189 @@ void runSchedContextComparison(const char *JsonPath) {
             << "  context-reused: " << static_cast<uint64_t>(ReusedRate)
             << " blocks/sec\n"
             << "  speedup:        " << Speedup << "x  (guard " << (Guard & 1)
-            << ")\n"
-            << "wrote " << JsonPath << '\n';
+            << ")\n";
+  return writeBenchJson(JsonPath, OS.str());
+}
+
+/// The headline comparison for the compiled filter: interpreter vs
+/// compiled-scalar vs compiled-batch evaluation of the SPECjvm98 t = 0
+/// filter over every block of the suite, bit-identity checked across all
+/// three paths before any timing is reported.  The interpreter side pays
+/// predict + predictionWork -- exactly what ScheduleFilter's Interpreted
+/// mode pays per decision -- while the compiled paths return both in one
+/// walk.
+bool runFilterEvalComparison(ExperimentEngine &Engine,
+                             const std::string &JsonPath, bool Quick) {
+  std::cerr << "training the SPECjvm98 t = 0 filter (tracing on cache "
+               "miss)...\n";
+  std::vector<BenchmarkRun> Runs =
+      Engine.generateSuiteData(specjvm98Suite(), MachineModel::ppc7410());
+  std::vector<Dataset> Labeled = Engine.labelSuite(Runs, 0.0);
+  Dataset Suite("suite");
+  for (const Dataset &D : Labeled)
+    Suite.append(D);
+  RuleSet Filter = Ripper().train(Suite, Engine.pool());
+  CompiledFilter Compiled(Filter);
+
+  // Every block of the suite, features extracted once (row-major for the
+  // scalar paths, SoA for the batch path -- bit-identical values).
+  std::vector<FeatureVector> Rows;
+  FeatureMatrix M;
+  for (const BenchmarkRun &R : Runs)
+    R.Prog.forEachBlock([&](const BasicBlock &BB) {
+      Rows.push_back(extractFeatures(BB));
+      M.appendRow(Rows.back());
+    });
+  const size_t N = Rows.size();
+
+  // Bit-identity first: predictions and work units of all three paths
+  // must agree on every block before the timings mean anything.
+  std::vector<unsigned char> BatchLS(N, 0);
+  std::vector<uint64_t> BatchWork(N, 0);
+  CompiledFilter::BatchScratch Scratch;
+  Compiled.evaluateBatch(M, Scratch, BatchLS.data(), BatchWork.data());
+  for (size_t I = 0; I != N; ++I) {
+    bool InterpLS = Filter.predict(Rows[I]) == Label::LS;
+    uint64_t InterpWork = Filter.predictionWork(Rows[I]);
+    CompiledFilter::Decision D = Compiled.evaluate(Rows[I]);
+    if (D.ScheduleLS != InterpLS || D.Work != InterpWork ||
+        (BatchLS[I] != 0) != InterpLS || BatchWork[I] != InterpWork) {
+      std::cerr << "error: evaluator paths diverged on block " << I
+                << " (run compiled_filter_test)\n";
+      return false;
+    }
+  }
+
+  const int Reps = Quick ? 40 : 400;
+  uint64_t Guard = 0;
+
+  // The three paths are timed interleaved, one full pass each per rep:
+  // external load then perturbs all three about equally, so the reported
+  // speedup ratios are stable even on a busy machine.
+  AccumulatingTimer InterpTimer, ScalarTimer, BatchTimer;
+  for (int R = 0; R != Reps; ++R) {
+    InterpTimer.start();
+    for (size_t I = 0; I != N; ++I) {
+      Guard += Filter.predict(Rows[I]) == Label::LS;
+      Guard += Filter.predictionWork(Rows[I]);
+    }
+    InterpTimer.stop();
+
+    ScalarTimer.start();
+    for (size_t I = 0; I != N; ++I) {
+      CompiledFilter::Decision D = Compiled.evaluate(Rows[I]);
+      Guard += D.Work + D.ScheduleLS;
+    }
+    ScalarTimer.stop();
+
+    BatchTimer.start();
+    Compiled.evaluateBatch(M, Scratch, BatchLS.data(), BatchWork.data());
+    BatchTimer.stop();
+    Guard += BatchWork[N - 1] + BatchLS[0];
+  }
+
+  double Decisions = static_cast<double>(N) * Reps;
+  auto NsPer = [&](const AccumulatingTimer &T) {
+    return T.seconds() * 1e9 / Decisions;
+  };
+  auto Rate = [&](const AccumulatingTimer &T) {
+    return static_cast<uint64_t>(Decisions / T.seconds());
+  };
+  double InterpNs = NsPer(InterpTimer);
+  double ScalarNs = NsPer(ScalarTimer);
+  double BatchNs = NsPer(BatchTimer);
+
+  std::ostringstream OS;
+  OS << "{\n"
+     << "  \"filter\": \"specjvm98 @ t=0\",\n"
+     << "  \"rules\": " << Filter.size() << ",\n"
+     << "  \"conditions\": " << Filter.totalConditions() << ",\n"
+     << "  \"predicate_rows\": " << Compiled.numPredRows() << ",\n"
+     << "  \"blocks\": " << N << ",\n"
+     << "  \"repetitions\": " << Reps << ",\n"
+     << "  \"interpreter_ns_per_decision\": " << InterpNs << ",\n"
+     << "  \"compiled_ns_per_decision\": " << ScalarNs << ",\n"
+     << "  \"compiled_batch_ns_per_decision\": " << BatchNs << ",\n"
+     << "  \"interpreter_blocks_per_sec\": " << Rate(InterpTimer) << ",\n"
+     << "  \"compiled_blocks_per_sec\": " << Rate(ScalarTimer) << ",\n"
+     << "  \"compiled_batch_blocks_per_sec\": " << Rate(BatchTimer) << ",\n"
+     << "  \"compiled_speedup\": " << InterpNs / ScalarNs << ",\n"
+     << "  \"batch_speedup\": " << InterpNs / BatchNs << "\n"
+     << "}\n";
+
+  std::cout << "\nfilter evaluation on the SPECjvm98 t = 0 filter ("
+            << Filter.size() << " rules, " << Filter.totalConditions()
+            << " conditions -> " << Compiled.numCells() << " cells, "
+            << Compiled.numPredRows() << " predicate rows; " << N
+            << " blocks x " << Reps << " reps):\n"
+            << "  interpreter:    " << InterpNs << " ns/decision ("
+            << Rate(InterpTimer) << " blocks/sec)\n"
+            << "  compiled:       " << ScalarNs << " ns/decision ("
+            << Rate(ScalarTimer) << " blocks/sec, " << InterpNs / ScalarNs
+            << "x)\n"
+            << "  compiled-batch: " << BatchNs << " ns/decision ("
+            << Rate(BatchTimer) << " blocks/sec, " << InterpNs / BatchNs
+            << "x)  (guard " << (Guard & 1) << ")\n";
+  return writeBenchJson(JsonPath, OS.str());
 }
 
 } // namespace
 
 BENCHMARK(BM_FeatureExtraction)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
 BENCHMARK(BM_FilterDecision)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
+BENCHMARK(BM_FilterDecisionCompiled)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
 BENCHMARK(BM_DagBuild)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
 BENCHMARK(BM_ListSchedule)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
 BENCHMARK(BM_ListScheduleReused)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
 BENCHMARK(BM_BlockSimulate)->Arg(1)->Arg(3)->Arg(6)->Arg(10);
 
 int main(int argc, char **argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+  CommandLine CL(argc, argv);
+  std::optional<EngineHandle> Handle = parseEngineOptions(CL);
+  if (!Handle)
     return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  bool Quick = CL.has("quick");
+
+  // google-benchmark rejects flags it does not recognize, so strip this
+  // driver's own flags (and their space-separated values, mirroring
+  // CommandLine's consumption rule) before handing argv over.
+  std::vector<char *> BenchArgv;
+  BenchArgv.push_back(argv[0]);
+  auto IsOwnFlag = [](const std::string &A) {
+    static const char *Own[] = {"--quick",           "--no-cache",
+                                "--jobs",            "--corpus-dir",
+                                "--out-schedcontext", "--out-filter-eval"};
+    for (const char *F : Own)
+      if (A == F || A.rfind(std::string(F) + "=", 0) == 0)
+        return true;
+    return false;
+  };
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (IsOwnFlag(A)) {
+      if (A.find('=') == std::string::npos && I + 1 < argc &&
+          std::string(argv[I + 1]).rfind("--", 0) != 0)
+        ++I; // the flag's space-separated value
+      continue;
+    }
+    BenchArgv.push_back(argv[I]);
+  }
+  int BenchArgc = static_cast<int>(BenchArgv.size());
+
+  benchmark::Initialize(&BenchArgc, BenchArgv.data());
+  if (benchmark::ReportUnrecognizedArguments(BenchArgc, BenchArgv.data()))
+    return 1;
+  if (!Quick)
+    benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  runSchedContextComparison("BENCH_schedcontext.json");
+
+  if (!runSchedContextComparison(
+          benchOutPath(CL, "out-schedcontext", "BENCH_schedcontext.json"),
+          Quick))
+    return 1;
+  if (!runFilterEvalComparison(
+          **Handle, benchOutPath(CL, "out-filter-eval", "BENCH_filter_eval.json"),
+          Quick))
+    return 1;
   return 0;
 }

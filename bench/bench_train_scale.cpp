@@ -22,6 +22,7 @@
 //
 // Usage:
 //   bench_train_scale [--quick] [--jobs N] [--corpus-dir DIR | --no-cache]
+//                     [--out PATH]
 //
 // --quick drops the largest tier for CI smoke runs.  Everything printed
 // except the timings is deterministic.
@@ -32,12 +33,13 @@
 #include "ml/Ripper.h"
 #include "support/Timer.h"
 
+#include "BenchJson.h"
 #include "EngineOption.h"
 #include "ReferenceRipper.h"
 #include "RuleSetIdentity.h"
 
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 using namespace schedfilter;
@@ -77,7 +79,8 @@ int main(int argc, char **argv) {
   const std::vector<int> Tiers = Quick ? std::vector<int>{1, 2}
                                        : std::vector<int>{1, 2, 4};
 
-  std::ofstream OS("BENCH_train_scale.json");
+  std::string OutPath = benchOutPath(CL, "out", "BENCH_train_scale.json");
+  std::ostringstream OS;
   OS << "{\n  \"corpus\": \"specjvm98 @ t=0\",\n  \"base_instances\": "
      << Suite.size() << ",\n  \"jobs\": " << Engine.jobs()
      << ",\n  \"tiers\": [\n";
@@ -134,12 +137,8 @@ int main(int argc, char **argv) {
   }
 
   OS << "  ],\n  \"largest_tier_speedup\": " << LargestTierSpeedup << "\n}\n";
-  OS.flush();
-  if (!OS) {
-    std::cerr << "error: failed writing BENCH_train_scale.json\n";
+  if (!writeBenchJson(OutPath, OS.str()))
     return 1;
-  }
-  std::cout << "wrote BENCH_train_scale.json (largest tier speedup "
-            << LargestTierSpeedup << "x)\n";
+  std::cout << "largest tier speedup " << LargestTierSpeedup << "x\n";
   return 0;
 }

@@ -28,6 +28,27 @@ allow() {
   esac
 }
 
+# Allowlist audit: every exempted file must still exist and still
+# contain the construct it is exempted for.  A stale entry -- the file
+# renamed, or the use removed -- would otherwise sit in allow() forever,
+# silently pre-approving a future reintroduction nobody audited.
+audit_allow() {
+  file=$1
+  pattern=$2
+  if [ ! -f "$file" ]; then
+    echo "determinism lint: allowlist names missing file '$file'" >&2
+    echo "  (remove its entry from allow() in $0)" >&2
+    exit 1
+  fi
+  if ! grep -qE "$pattern" "$file"; then
+    echo "determinism lint: allowlist entry '$file' no longer contains" \
+      "'$pattern'" >&2
+    echo "  (the audited use is gone; remove its entry from allow())" >&2
+    exit 1
+  fi
+}
+audit_allow src/support/Timer.h 'steady_clock'
+
 status=0
 check() {
   pattern=$1

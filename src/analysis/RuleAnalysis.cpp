@@ -216,6 +216,45 @@ size_t RuleAnalysis::removedConditions() const {
   return N;
 }
 
+std::vector<char>
+schedfilter::redundantConditionMask(const Rule &R,
+                                    std::vector<size_t> *Subsumer) {
+  // Keep the tightest test per (feature, direction); every looser or
+  // later-duplicate same-direction test is subsumed.  NaN thresholds are
+  // excluded (the rule is dead regardless; the analyzer reports that as
+  // its own finding).
+  std::vector<char> Mask(R.Conditions.size(), 0);
+  if (Subsumer)
+    Subsumer->assign(R.Conditions.size(), LintFinding::npos);
+  for (size_t C = 0; C != R.Conditions.size(); ++C) {
+    const Condition &Cond = R.Conditions[C];
+    if (std::isnan(Cond.Threshold))
+      continue;
+    size_t Tightest = LintFinding::npos;
+    for (size_t D = 0; D != R.Conditions.size(); ++D) {
+      const Condition &Other = R.Conditions[D];
+      if (D == C || Other.Feature != Cond.Feature ||
+          Other.IsLessEqual != Cond.IsLessEqual ||
+          std::isnan(Other.Threshold))
+        continue;
+      bool OtherTighter = Cond.IsLessEqual
+                              ? Other.Threshold < Cond.Threshold
+                              : Other.Threshold > Cond.Threshold;
+      bool Duplicate = Other.Threshold == Cond.Threshold && D < C;
+      if (OtherTighter || Duplicate) {
+        Tightest = D;
+        break;
+      }
+    }
+    if (Tightest != LintFinding::npos) {
+      Mask[C] = 1;
+      if (Subsumer)
+        (*Subsumer)[C] = Tightest;
+    }
+  }
+  return Mask;
+}
+
 RuleAnalysis schedfilter::analyzeRuleSet(const RuleSet &RS,
                                          const Dataset *Observed,
                                          uint64_t MaxGridPoints) {
@@ -299,38 +338,18 @@ RuleAnalysis schedfilter::analyzeRuleSet(const RuleSet &RS,
                  "]");
     }
 
-    // Within-rule redundancy: keep the tightest test per (feature,
-    // direction); every looser or duplicate same-direction test is
-    // subsumed.  NaN thresholds are excluded (reported above; the rule is
-    // dead regardless).
-    for (size_t C = 0; C != R.Conditions.size(); ++C) {
-      const Condition &Cond = R.Conditions[C];
-      if (std::isnan(Cond.Threshold))
-        continue;
-      size_t Tightest = LintFinding::npos;
-      for (size_t D = 0; D != R.Conditions.size(); ++D) {
-        const Condition &Other = R.Conditions[D];
-        if (D == C || Other.Feature != Cond.Feature ||
-            Other.IsLessEqual != Cond.IsLessEqual ||
-            std::isnan(Other.Threshold))
-          continue;
-        bool OtherTighter = Cond.IsLessEqual
-                                ? Other.Threshold < Cond.Threshold
-                                : Other.Threshold > Cond.Threshold;
-        bool Duplicate = Other.Threshold == Cond.Threshold && D < C;
-        if (OtherTighter || Duplicate) {
-          Tightest = D;
-          break;
-        }
-      }
-      if (Tightest != LintFinding::npos) {
-        A.RemoveCondition[I][C] = 1;
-        Emit(LintKind::RedundantCondition, LintSeverity::Warning, I, C,
-             Tightest,
-             ruleRef(I) + ": condition '" + Cond.toString() +
-                 "' is redundant (subsumed by '" +
-                 R.Conditions[Tightest].toString() + "')");
-      }
+    // Within-rule redundancy via the shared keep-tightest pass (also
+    // used by CompiledFilter::canonicalRules).
+    {
+      std::vector<size_t> Subsumer;
+      A.RemoveCondition[I] = redundantConditionMask(R, &Subsumer);
+      for (size_t C = 0; C != R.Conditions.size(); ++C)
+        if (A.RemoveCondition[I][C])
+          Emit(LintKind::RedundantCondition, LintSeverity::Warning, I, C,
+               Subsumer[C],
+               ruleRef(I) + ": condition '" + R.Conditions[C].toString() +
+                   "' is redundant (subsumed by '" +
+                   R.Conditions[Subsumer[C]].toString() + "')");
     }
 
     // Feasibility of the box.
@@ -444,29 +463,22 @@ RuleSet schedfilter::normalizeRuleSet(const RuleSet &RS,
   return Out;
 }
 
-EquivalenceCheck schedfilter::checkPredictEquivalence(const RuleSet &A,
-                                                      const RuleSet &B,
-                                                      uint64_t MaxPoints) {
-  EquivalenceCheck Result;
-  CornerGrid Grid({&A, &B}, /*WithNaN=*/true);
-  Result.GridSize = Grid.size();
+CornerGridWalk schedfilter::forEachCornerPoint(
+    const std::vector<const RuleSet *> &Sets, bool WithNaN,
+    uint64_t MaxPoints,
+    const std::function<bool(const FeatureVector &)> &Visit) {
+  CornerGridWalk Walk;
+  CornerGrid Grid(Sets, WithNaN);
+  Walk.GridSize = Grid.size();
 
-  auto Same = [&](const FeatureVector &X) {
-    if (A.predict(X) == B.predict(X))
-      return true;
-    Result.Equivalent = false;
-    Result.Counterexample = X;
-    return false;
-  };
-
-  if (Result.GridSize <= MaxPoints) {
-    Result.PointsChecked = Grid.forEachPoint(Same);
-    return Result;
+  if (Walk.GridSize <= MaxPoints) {
+    Walk.PointsVisited = Grid.forEachPoint(Visit);
+    return Walk;
   }
 
-  // Grid too large to enumerate: evaluate a deterministic sample of grid
-  // points instead.  The verdict is then evidence, not a proof.
-  Result.Exhaustive = false;
+  // Grid too large to enumerate: visit a deterministic sample of grid
+  // points instead.  Conclusions are then evidence, not a proof.
+  Walk.Exhaustive = false;
   Rng R(0x5f11e7);
   FeatureVector X{};
   for (uint64_t P = 0; P != MaxPoints; ++P) {
@@ -474,10 +486,28 @@ EquivalenceCheck schedfilter::checkPredictEquivalence(const RuleSet &A,
       const std::vector<double> &V = Grid.Values[F];
       X[F] = V[R.below(static_cast<uint32_t>(V.size()))];
     }
-    ++Result.PointsChecked;
-    if (!Same(X))
-      return Result;
+    ++Walk.PointsVisited;
+    if (!Visit(X))
+      return Walk;
   }
+  return Walk;
+}
+
+EquivalenceCheck schedfilter::checkPredictEquivalence(const RuleSet &A,
+                                                      const RuleSet &B,
+                                                      uint64_t MaxPoints) {
+  EquivalenceCheck Result;
+  CornerGridWalk Walk = forEachCornerPoint(
+      {&A, &B}, /*WithNaN=*/true, MaxPoints, [&](const FeatureVector &X) {
+        if (A.predict(X) == B.predict(X))
+          return true;
+        Result.Equivalent = false;
+        Result.Counterexample = X;
+        return false;
+      });
+  Result.Exhaustive = Walk.Exhaustive;
+  Result.GridSize = Walk.GridSize;
+  Result.PointsChecked = Walk.PointsVisited;
   return Result;
 }
 

@@ -41,6 +41,7 @@
 
 #include "ml/Rule.h"
 
+#include <functional>
 #include <iosfwd>
 #include <limits>
 #include <string>
@@ -117,6 +118,21 @@ RuleAnalysis analyzeRuleSet(const RuleSet &RS,
                             const Dataset *Observed = nullptr,
                             uint64_t MaxGridPoints = 1u << 22);
 
+/// The analyzer's within-rule keep-tightest pass, exported on its own:
+/// Mask[c] != 0 iff condition c of \p R is subsumed by a tighter (or
+/// earlier duplicate) same-feature, same-direction test in the same rule,
+/// so dropping it is predict()-equivalent.  NaN-threshold conditions are
+/// never marked (the rule is dead regardless; the analyzer reports that
+/// separately).  This is the single definition of "canonical condition
+/// order" shared by analyzeRuleSet / normalizeRuleSet (sf-lint --fix) and
+/// CompiledFilter::canonicalRules, so a linted file and a compiled
+/// filter's canonical form agree by construction.  When \p Subsumer is
+/// non-null it receives, per condition, the index of the subsuming
+/// condition (LintFinding::npos when the condition is kept).
+std::vector<char> redundantConditionMask(const Rule &R,
+                                         std::vector<size_t> *Subsumer =
+                                             nullptr);
+
 /// Applies \p A's removal plan to \p RS: dead and shadowed rules are
 /// dropped, redundant conditions of surviving rules are dropped, order
 /// and the default class are preserved, and per-rule coverage counts are
@@ -138,6 +154,31 @@ struct EquivalenceCheck {
   /// When !Equivalent: an input the two sets classify differently.
   FeatureVector Counterexample{};
 };
+
+/// Result of enumerating a threshold corner grid with forEachCornerPoint.
+struct CornerGridWalk {
+  /// True when every grid point was offered to the visitor (or it exited
+  /// early): conclusions drawn from the walk hold for *all* inputs.
+  /// False when the grid exceeded the cap and a deterministic sample was
+  /// visited instead.
+  bool Exhaustive = true;
+  uint64_t GridSize = 0;      ///< Corner-grid cardinality (saturated).
+  uint64_t PointsVisited = 0; ///< Points actually offered to the visitor.
+};
+
+/// Enumerates the threshold corner grid of the union of \p Sets'
+/// conditions: per feature, each threshold and its two neighboring
+/// doubles (plus, when \p WithNaN, a NaN coordinate), i.e. one
+/// representative per behaviorally distinct cell of feature space -- a
+/// sound and complete finite test basis for any predicate built from
+/// those thresholds.  Calls \p Visit on every point until it returns
+/// false (early exit).  When the grid exceeds \p MaxPoints, visits a
+/// deterministic pseudo-random sample of MaxPoints grid points instead
+/// and reports Exhaustive = false.
+CornerGridWalk
+forEachCornerPoint(const std::vector<const RuleSet *> &Sets, bool WithNaN,
+                   uint64_t MaxPoints,
+                   const std::function<bool(const FeatureVector &)> &Visit);
 
 /// Decides predict()-equivalence of \p A and \p B over every double-valued
 /// feature vector (NaN coordinates included) by evaluating both on the

@@ -1,0 +1,17 @@
+//===- features/FeatureMatrix.cpp - SoA batch feature extraction ------------===//
+
+#include "features/FeatureMatrix.h"
+
+using namespace schedfilter;
+
+uint64_t schedfilter::extractFeaturesBatch(const BasicBlock *const *Blocks,
+                                           size_t N, FeatureMatrix &M) {
+  M.clear();
+  M.reserve(N);
+  uint64_t Work = 0;
+  for (size_t I = 0; I != N; ++I) {
+    M.appendBlock(*Blocks[I]);
+    Work += featureExtractionWork(*Blocks[I]);
+  }
+  return Work;
+}

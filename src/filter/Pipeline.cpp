@@ -57,12 +57,19 @@ CompileReport schedfilter::compileProgram(const Program &P,
   for (size_t B = 0; B != Blocks.size(); ++B)
     Orders[B].clear();
 
-  // Phase 1 (timed): the scheduling phase proper -- per-block filter
-  // decision plus list scheduling of the chosen blocks.  One timer spans
-  // the whole phase, like the paper's per-phase compiler timers; the
-  // filter's cost is thereby charged to scheduling (§3.1).
+  // Phase 1 (timed): the scheduling phase proper -- filter decisions plus
+  // list scheduling of the chosen blocks.  One timer spans the whole
+  // phase, like the paper's per-phase compiler timers; the filter's cost
+  // is thereby charged to scheduling (§3.1).  Under the Filtered policy
+  // all decisions are made up front in one batch pass (SoA feature
+  // extraction + compiled predicate-matrix evaluation), which accumulates
+  // exactly the per-block counters and work units -- the scheduling loop
+  // then just reads the decision bytes in block order.
   AccumulatingTimer SchedTimer;
   SchedTimer.start();
+  std::vector<char> &Decisions = Ctx.batchDecisions();
+  if (Policy == SchedulingPolicy::Filtered)
+    Filter->shouldScheduleBatch(Blocks, Ctx, Decisions);
   for (size_t B = 0; B != Blocks.size(); ++B) {
     const BasicBlock &BB = *Blocks[B];
     bool DoSchedule = false;
@@ -74,7 +81,7 @@ CompileReport schedfilter::compileProgram(const Program &P,
       DoSchedule = true;
       break;
     case SchedulingPolicy::Filtered:
-      DoSchedule = Filter->shouldSchedule(BB, Ctx);
+      DoSchedule = Decisions[B] != 0;
       break;
     }
     if (!DoSchedule)

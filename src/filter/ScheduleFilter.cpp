@@ -6,36 +6,58 @@
 
 using namespace schedfilter;
 
+std::atomic<FilterEval> ScheduleFilter::DefaultEval{FilterEval::Compiled};
+
+const char *schedfilter::getFilterEvalName(FilterEval E) {
+  return E == FilterEval::Compiled ? "compiled" : "interpreter";
+}
+
 bool ScheduleFilter::shouldSchedule(const BasicBlock &BB, SchedContext &Ctx) {
-  (void)Ctx; // no scratch needed yet; see the header
+  (void)Ctx; // scalar decisions need no scratch; see the header
   return shouldSchedule(BB);
 }
 
-bool ScheduleFilter::shouldSchedule(const BasicBlock &BB) {
-  // O(1) rejection for blocks no rule can match.
-  if (static_cast<double>(BB.size()) < BBLenGate) {
-    ++Work;
-    bool Schedule = Rules.getDefaultClass() == Label::LS;
-    if (Schedule)
-      ++NumLS;
-    else
-      ++NumNS;
-    return Schedule;
+void ScheduleFilter::shouldScheduleBatch(
+    const std::vector<const BasicBlock *> &Blocks, SchedContext &Ctx,
+    std::vector<char> &Decisions) {
+  const size_t N = Blocks.size();
+  Decisions.assign(N, 0);
+
+  if (Eval != FilterEval::Compiled) {
+    // Reference path: the scalar loop, decision for decision.
+    for (size_t I = 0; I != N; ++I)
+      Decisions[I] = shouldSchedule(*Blocks[I]);
+    return;
   }
 
-  FeatureVector X = extractFeatures(BB);
-  Work += featureExtractionWork(BB);
-  Work += Rules.predictionWork(X);
-  bool Schedule = Rules.predict(X) == Label::LS;
-  if (Schedule)
-    ++NumLS;
-  else
-    ++NumNS;
-  return Schedule;
-}
+  // Split gated blocks (one work unit, default class -- same as
+  // decide()'s fast path) from blocks that need the feature pass.
+  std::vector<const BasicBlock *> &Batch = Ctx.batchBlocks();
+  std::vector<uint32_t> &Rows = Ctx.batchRowIndex();
+  Batch.clear();
+  Rows.clear();
+  for (size_t I = 0; I != N; ++I) {
+    if (static_cast<double>(Blocks[I]->size()) < BBLenGate)
+      record({DefaultIsLS, 1}), Decisions[I] = DefaultIsLS;
+    else {
+      Batch.push_back(Blocks[I]);
+      Rows.push_back(static_cast<uint32_t>(I));
+    }
+  }
+  if (Batch.empty())
+    return;
 
-bool ScheduleFilter::shouldSchedule(const BasicBlock &BB) const {
-  if (static_cast<double>(BB.size()) < BBLenGate)
-    return Rules.getDefaultClass() == Label::LS;
-  return Rules.predict(extractFeatures(BB)) == Label::LS;
+  // Extract all surviving blocks into the SoA matrix (bit-identical
+  // values and summed work by construction), then one batch evaluation.
+  FeatureMatrix &M = Ctx.featureMatrix();
+  Work += extractFeaturesBatch(Batch.data(), Batch.size(), M);
+  std::vector<unsigned char> &IsLS = Ctx.batchIsLS();
+  std::vector<uint64_t> &RowWork = Ctx.batchWork();
+  IsLS.assign(Batch.size(), 0);
+  RowWork.assign(Batch.size(), 0);
+  Compiled.evaluateBatch(M, Ctx.predScratch(), IsLS.data(), RowWork.data());
+  for (size_t R = 0; R != Batch.size(); ++R) {
+    record({IsLS[R] != 0, RowWork[R]});
+    Decisions[Rows[R]] = IsLS[R];
+  }
 }

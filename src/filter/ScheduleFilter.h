@@ -7,23 +7,49 @@
 /// default (NS) means "leave it alone".  Mirrors §2.2's final step of
 /// installing the learned function in the compiler and applying it online.
 ///
+/// Every ScheduleFilter owns a CompiledFilter built from its rule set at
+/// construction, so all callers (sf-apply, sf-serve, CompileService, the
+/// bench drivers) get the flat branchless evaluator for free.  The
+/// original interpreter is kept behind FilterEval::Interpreted purely as
+/// a cross-check: both paths are bit-exactly equivalent in predictions
+/// AND work units (tests/compiled_filter_test.cpp proves it), so stats
+/// and golden pins are byte-identical whichever one runs.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SCHEDFILTER_FILTER_SCHEDULEFILTER_H
 #define SCHEDFILTER_FILTER_SCHEDULEFILTER_H
 
 #include "features/Features.h"
+#include "filter/CompiledFilter.h"
 #include "ml/Rule.h"
+
+#include <atomic>
+#include <vector>
 
 namespace schedfilter {
 
 class SchedContext;
 
+/// Which evaluator a ScheduleFilter runs.  Compiled is the default and
+/// strictly faster; Interpreted exists so tools and CI can force the
+/// reference path and byte-diff the two (sf-serve --filter-eval).
+enum class FilterEval { Compiled, Interpreted };
+
+/// "compiled" or "interpreter" (the sf-serve flag spelling).
+const char *getFilterEvalName(FilterEval E);
+
 /// Wraps an induced RuleSet as an online block filter.
 class ScheduleFilter {
 public:
-  explicit ScheduleFilter(RuleSet RS)
-      : Rules(std::move(RS)), BBLenGate(Rules.minMatchableBBLen()) {}
+  /// Compiles \p RS and captures the evaluator mode; by default the
+  /// process-wide mode (see setDefaultEval), so components that build
+  /// filters internally -- CompileService constructs one per parallel
+  /// task -- honor a tool-level --filter-eval switch without plumbing.
+  explicit ScheduleFilter(RuleSet RS, FilterEval Eval = defaultEval())
+      : Rules(std::move(RS)), Compiled(Rules),
+        BBLenGate(Rules.minMatchableBBLen()),
+        DefaultIsLS(Rules.getDefaultClass() == Label::LS), Eval(Eval) {}
 
   /// True if the filter predicts the block benefits from scheduling.
   /// Accumulates decision counters and deterministic work units.
@@ -31,19 +57,46 @@ public:
   /// Fast path: blocks shorter than the rule set's minimum matchable
   /// length resolve to the default class with a single comparison and no
   /// feature extraction (see RuleSet::minMatchableBBLen).
-  bool shouldSchedule(const BasicBlock &BB);
+  bool shouldSchedule(const BasicBlock &BB) {
+    CompiledFilter::Decision D = decide(BB);
+    record(D);
+    return D.ScheduleLS;
+  }
 
   /// Context-threading variant used by the allocation-free pipeline.
-  /// Feature extraction and rule evaluation are already allocation-free
-  /// (the feature vector is a fixed-size array), so this simply keeps the
-  /// per-block call shape uniform; \p Ctx is reserved for future filters
-  /// that need scratch (e.g. DAG-derived features).
+  /// Scalar decisions are already allocation-free (the feature vector is
+  /// a fixed-size array); \p Ctx keeps the call shape uniform with the
+  /// batch path.
   bool shouldSchedule(const BasicBlock &BB, SchedContext &Ctx);
 
-  /// Const query without statistics (for tests).
-  bool shouldSchedule(const BasicBlock &BB) const;
+  /// Const query without statistics (for tests).  Same decide() path as
+  /// the stat-accumulating overloads -- the variants cannot diverge.
+  bool shouldSchedule(const BasicBlock &BB) const {
+    return decide(BB).ScheduleLS;
+  }
+
+  /// Batch decision pass: fills Decisions[i] with shouldSchedule(*Blocks[i])
+  /// for all i, accumulating exactly the counters and work units the
+  /// per-block loop would.  In Compiled mode, non-gated blocks stream
+  /// through extractFeaturesBatch into \p Ctx's SoA feature matrix and
+  /// one evaluateBatch call; Interpreted mode falls back to the scalar
+  /// loop.  Decisions is sized to Blocks.size().
+  void shouldScheduleBatch(const std::vector<const BasicBlock *> &Blocks,
+                           SchedContext &Ctx, std::vector<char> &Decisions);
 
   const RuleSet &ruleSet() const { return Rules; }
+  const CompiledFilter &compiled() const { return Compiled; }
+  FilterEval evalMode() const { return Eval; }
+
+  /// Process-wide default evaluator for subsequently constructed filters
+  /// (existing instances keep the mode they captured).  Tools set this
+  /// once from --filter-eval before any filter exists.
+  static void setDefaultEval(FilterEval E) {
+    DefaultEval.store(E, std::memory_order_relaxed);
+  }
+  static FilterEval defaultEval() {
+    return DefaultEval.load(std::memory_order_relaxed);
+  }
 
   /// Decision counters (since construction or resetStats()).
   uint64_t numScheduleDecisions() const { return NumLS; }
@@ -56,8 +109,38 @@ public:
   void resetStats() { NumLS = NumNS = Work = 0; }
 
 private:
+  /// The one evaluation path every overload shares: gate, extract,
+  /// evaluate.  Work includes the feature pass (or the single gate
+  /// comparison), matching the historical accounting bit for bit.
+  CompiledFilter::Decision decide(const BasicBlock &BB) const {
+    if (static_cast<double>(BB.size()) < BBLenGate)
+      return {DefaultIsLS, 1};
+    FeatureVector X = extractFeatures(BB);
+    uint64_t ExtractWork = featureExtractionWork(BB);
+    if (Eval == FilterEval::Compiled) {
+      CompiledFilter::Decision D = Compiled.evaluate(X);
+      D.Work += ExtractWork;
+      return D;
+    }
+    return {Rules.predict(X) == Label::LS,
+            ExtractWork + Rules.predictionWork(X)};
+  }
+
+  void record(const CompiledFilter::Decision &D) {
+    Work += D.Work;
+    if (D.ScheduleLS)
+      ++NumLS;
+    else
+      ++NumNS;
+  }
+
+  static std::atomic<FilterEval> DefaultEval;
+
   RuleSet Rules;
+  CompiledFilter Compiled;
   double BBLenGate;
+  bool DefaultIsLS;
+  FilterEval Eval;
   uint64_t NumLS = 0;
   uint64_t NumNS = 0;
   uint64_t Work = 0;

@@ -23,11 +23,24 @@ void MethodCompiler::compileMethod(const Method &M, SchedulingPolicy Policy,
   std::vector<int> &Order = Ctx.orderBuffer();
 
   // The same per-block sequence as compileProgram, with the timer spanning
-  // the scheduling phase (filter decision + list scheduling; §3.1 charges
-  // filter evaluation to scheduling) and simulation untimed.  SimulatedTime
-  // accumulates directly into Report, preserving the flat left-to-right
-  // fold the pipeline uses -- the bit-identity contract in the header.
+  // the scheduling phase (filter decisions + list scheduling; §3.1 charges
+  // filter evaluation to scheduling) and simulation untimed.  Filter
+  // decisions for the whole method are made in one batch pass up front --
+  // identical counters and work units to the per-block loop -- and
+  // SimulatedTime accumulates directly into Report in block order,
+  // preserving the flat left-to-right fold the pipeline uses: the
+  // bit-identity contract in the header.
   AccumulatingTimer SchedTimer;
+  std::vector<char> &Decisions = Ctx.batchDecisions();
+  if (Policy == SchedulingPolicy::Filtered) {
+    BlockPtrs.clear();
+    for (const BasicBlock &BB : M)
+      BlockPtrs.push_back(&BB);
+    SchedTimer.start();
+    Filter->shouldScheduleBatch(BlockPtrs, Ctx, Decisions);
+    SchedTimer.stop();
+  }
+  size_t B = 0;
   for (const BasicBlock &BB : M) {
     ++Report.NumBlocks;
     SchedTimer.start();
@@ -39,9 +52,10 @@ void MethodCompiler::compileMethod(const Method &M, SchedulingPolicy Policy,
       DoSchedule = true;
       break;
     case SchedulingPolicy::Filtered:
-      DoSchedule = Filter->shouldSchedule(BB, Ctx);
+      DoSchedule = Decisions[B] != 0;
       break;
     }
+    ++B;
     if (DoSchedule) {
       Report.SchedulingWork += Scheduler.schedule(BB, Ctx, Order);
       ++Report.NumScheduled;

@@ -50,6 +50,9 @@ private:
   ListScheduler Scheduler;
   BlockSimulator Sim;
   SchedContext &Ctx;
+  /// Per-method block-pointer scratch for the batch filter pass
+  /// (grow-only; the decision bytes live in the context's arena).
+  std::vector<const BasicBlock *> BlockPtrs;
 };
 
 } // namespace schedfilter

@@ -20,6 +20,7 @@
 #ifndef SCHEDFILTER_SCHED_SCHEDCONTEXT_H
 #define SCHEDFILTER_SCHED_SCHEDCONTEXT_H
 
+#include "features/FeatureMatrix.h"
 #include "sched/DependenceGraph.h"
 #include "sched/ListScheduler.h"
 #include "sim/BlockSimulator.h"
@@ -61,6 +62,19 @@ public:
   std::vector<const BasicBlock *> &blockList() { return BlockList; }
   std::vector<std::vector<int>> &orderArena() { return OrderArena; }
 
+  /// Scratch for ScheduleFilter::shouldScheduleBatch: the SoA feature
+  /// matrix, the non-gated block list with its original-index map, the
+  /// compiled filter's predicate bit matrix, per-row results, and the
+  /// per-batch decision buffer pipelines hand back to the filter.  All
+  /// grow-only, like every other arena buffer.
+  FeatureMatrix &featureMatrix() { return Features; }
+  std::vector<const BasicBlock *> &batchBlocks() { return BatchBlocks; }
+  std::vector<uint32_t> &batchRowIndex() { return BatchRowIndex; }
+  std::vector<uint64_t> &predScratch() { return PredScratch; }
+  std::vector<unsigned char> &batchIsLS() { return BatchIsLS; }
+  std::vector<uint64_t> &batchWork() { return BatchWork; }
+  std::vector<char> &batchDecisions() { return BatchDecisions; }
+
 private:
   DependenceGraph Dag;
   DagBuildScratch DagScratch;
@@ -70,6 +84,13 @@ private:
   std::vector<int> OrderBuffer;
   std::vector<const BasicBlock *> BlockList;
   std::vector<std::vector<int>> OrderArena;
+  FeatureMatrix Features;
+  std::vector<const BasicBlock *> BatchBlocks;
+  std::vector<uint32_t> BatchRowIndex;
+  std::vector<uint64_t> PredScratch;
+  std::vector<unsigned char> BatchIsLS;
+  std::vector<uint64_t> BatchWork;
+  std::vector<char> BatchDecisions;
 };
 
 } // namespace schedfilter

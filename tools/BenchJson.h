@@ -1,0 +1,55 @@
+//===- tools/BenchJson.h - Shared BENCH_*.json writing ----------*- C++ -*-===//
+///
+/// \file
+/// One place for every bench driver that persists a BENCH_*.json
+/// trajectory file to resolve its output path and write it safely.
+/// Before this helper, each driver opened its own ofstream against a
+/// hardcoded filename; now the path comes from a per-file --out flag
+/// (CI and local runs can redirect without editing source) and the write
+/// is flush+error-checked, the same audit PR 3 applied to sf-trace
+/// --out: a full disk or unwritable directory fails the run loudly
+/// instead of leaving a silent empty file behind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_TOOLS_BENCHJSON_H
+#define SCHEDFILTER_TOOLS_BENCHJSON_H
+
+#include "support/CommandLine.h"
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+namespace schedfilter {
+
+/// Resolves where a bench driver writes its JSON: the value of
+/// --<Flag> when given, \p Default otherwise.  Drivers with one output
+/// use Flag = "out"; drivers with several use one flag per file
+/// (e.g. bench_micro_costs's --out-schedcontext / --out-filter-eval).
+inline std::string benchOutPath(const CommandLine &CL, const std::string &Flag,
+                                const std::string &Default) {
+  std::string Out = CL.get(Flag);
+  return Out.empty() ? Default : Out;
+}
+
+/// Writes \p Json to \p Path with an explicit flush and stream-state
+/// check.  Returns true and prints "wrote PATH" to stdout on success;
+/// prints an error to stderr and returns false otherwise (callers exit
+/// non-zero -- a bench whose trajectory file did not land must not look
+/// green).
+inline bool writeBenchJson(const std::string &Path, const std::string &Json) {
+  std::ofstream OS(Path);
+  OS << Json;
+  OS.flush();
+  if (!OS) {
+    std::cerr << "error: failed writing " << Path << '\n';
+    return false;
+  }
+  std::cout << "wrote " << Path << '\n';
+  return true;
+}
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_TOOLS_BENCHJSON_H

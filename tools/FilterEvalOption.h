@@ -1,0 +1,44 @@
+//===- tools/FilterEvalOption.h - Shared --filter-eval parsing ---*- C++ -*-===//
+///
+/// \file
+/// Resolves the --filter-eval flag ("compiled", the default, or
+/// "interpreter") into the process-wide ScheduleFilter evaluator mode.
+/// Setting the static default is what makes the flag reach filters
+/// constructed deep inside the service (CompileService builds one
+/// ScheduleFilter per parallel task) without threading a parameter
+/// through every layer.  Both modes are bit-exactly equivalent in
+/// predictions, counters and work units -- the flag exists so CI can
+/// byte-diff the two and so benches can price the difference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_TOOLS_FILTEREVALOPTION_H
+#define SCHEDFILTER_TOOLS_FILTEREVALOPTION_H
+
+#include "filter/ScheduleFilter.h"
+#include "support/CommandLine.h"
+
+#include <iostream>
+
+namespace schedfilter {
+
+/// Parses --filter-eval and installs the mode as the process-wide
+/// default.  Returns false (with a diagnostic) on an unknown value.
+inline bool parseFilterEvalOption(const CommandLine &CL) {
+  std::string V = CL.get("filter-eval", "compiled");
+  if (V == "compiled") {
+    ScheduleFilter::setDefaultEval(FilterEval::Compiled);
+    return true;
+  }
+  if (V == "interpreter") {
+    ScheduleFilter::setDefaultEval(FilterEval::Interpreted);
+    return true;
+  }
+  std::cerr << "error: --filter-eval expects 'compiled' or 'interpreter' "
+               "(got '" << V << "')\n";
+  return false;
+}
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_TOOLS_FILTEREVALOPTION_H

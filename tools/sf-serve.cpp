@@ -20,6 +20,7 @@
 //            [--model ppc7410|ppc970|simple-scalar]
 //            [--invocations N] [--hot-threshold N] [--queue-cap N]
 //            [--sample-every N] [--epoch-len N] [--drain N]
+//            [--filter-eval compiled|interpreter]
 //            [--jobs N] [--corpus-dir DIR | --no-cache]
 //   sf-serve --list
 //   sf-serve --help | --version
@@ -40,6 +41,7 @@
 #include "support/Timer.h"
 
 #include "EngineOption.h"
+#include "FilterEvalOption.h"
 #include "ModelOption.h"
 #include "VersionOption.h"
 
@@ -57,6 +59,7 @@ void printUsage(std::ostream &OS) {
         "                [--invocations N] [--hot-threshold N]"
         " [--queue-cap N]\n"
         "                [--sample-every N] [--epoch-len N] [--drain N]\n"
+        "                [--filter-eval compiled|interpreter]\n"
         "                [--jobs N] [--corpus-dir DIR | --no-cache]\n"
         "       sf-serve --list\n"
         "       sf-serve --help | --version\n";
@@ -113,6 +116,8 @@ int main(int argc, char **argv) {
 
   std::optional<MachineModel> Model = parseModelOption(CL);
   if (!Model)
+    return 1;
+  if (!parseFilterEvalOption(CL))
     return 1;
   std::optional<EngineHandle> Handle = parseEngineOptions(CL);
   if (!Handle)
