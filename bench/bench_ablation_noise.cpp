@@ -27,6 +27,7 @@
 #include "support/CommandLine.h"
 
 #include "EngineOption.h"
+#include "WorkloadOption.h"
 
 #include <iostream>
 
@@ -71,11 +72,21 @@ int main(int argc, char **argv) {
 
   const double T = 20.0;
   MachineModel Model = MachineModel::ppc7410();
+  // --suite picks any registered workload family (default specjvm98, the
+  // paper's population); the ablation itself is family-agnostic.
+  std::string SuiteName = CL.get("suite", "specjvm98");
+  const WorkloadFamily *Family = findWorkloadFamily(SuiteName);
+  if (!Family) {
+    std::cerr << "error: unknown suite: got '" << SuiteName
+              << "', known: " << knownFamilyNames() << '\n';
+    return 1;
+  }
   std::vector<BenchmarkRun> Suite =
-      Engine.generateSuiteData(specjvm98Suite(), Model);
+      Engine.generateSuiteData(Family->makeBenchmarkSuite(), Model);
 
-  std::cout << "Noise-filtering ablation at t = " << T
-            << " (SPECjvm98 geometric means, LOOCV)\n\n";
+  std::cout << "Noise-filtering ablation at t = " << T << " ("
+            << (SuiteName == "specjvm98" ? "SPECjvm98" : SuiteName)
+            << " geometric means, LOOCV)\n\n";
   TablePrinter Table({"Band handling", "Train size", "Runtime LS share",
                       "Effort vs LS", "App time vs NS",
                       "LS benefit retained"});

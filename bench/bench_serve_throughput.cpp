@@ -30,6 +30,7 @@
 
 #include "EngineOption.h"
 #include "FilterEvalOption.h"
+#include "WorkloadOption.h"
 
 #include <iostream>
 
@@ -39,13 +40,20 @@ int main(int argc, char **argv) {
   CommandLine CL(argc, argv);
   if (!parseFilterEvalOption(CL))
     return 1;
+  // --workload swaps in any family mix's benchmarks (each still served as
+  // its own single-app stream here; sf-serve --workload interleaves them).
+  // Weights are accepted for flag symmetry but don't affect this sweep.
+  std::optional<WorkloadMix> Mix = parseWorkloadOption(CL);
+  if (!Mix)
+    return 1;
   std::optional<EngineHandle> Handle = parseEngineOptions(CL);
   if (!Handle)
     return 1;
   ExperimentEngine &Engine = **Handle;
 
   MachineModel Model = MachineModel::ppc7410();
-  std::vector<BenchmarkSpec> Specs = specjvm98Suite();
+  std::vector<BenchmarkSpec> Specs =
+      Mix->empty() ? specjvm98Suite() : workloadMixSuite(*Mix);
   std::vector<BenchmarkRun> Suite = Engine.generateSuiteData(Specs, Model);
   std::vector<Dataset> Labeled = Engine.labelSuite(Suite, 0.0);
   std::vector<LoocvFold> Folds =
@@ -90,8 +98,9 @@ int main(int argc, char **argv) {
     }
 
   std::cout << "CompileService regime: invocation streams served under LS "
-               "vs L/N optimizing tiers\n(SPECjvm98; t = 0 LOOCV filters; "
-               "default service config; "
+               "vs L/N optimizing tiers\n("
+            << (Mix->empty() ? "SPECjvm98" : formatWorkloadMix(*Mix))
+            << "; t = 0 LOOCV filters; default service config; "
             << getFilterEvalName(Primary) << " filter evaluator)\n\n";
   TablePrinter T({"Benchmark", "Promoted", "Deferred", "Max queue",
                   "Opt residency", "LS work", "L/N work", "Recouped"});

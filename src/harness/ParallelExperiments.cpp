@@ -5,6 +5,7 @@
 #include "ml/Metrics.h"
 #include "sched/SchedContext.h"
 #include "support/Statistics.h"
+#include "workloads/WorkloadFamily.h"
 
 #include <cassert>
 
@@ -114,11 +115,13 @@ ExperimentEngine::generateSuiteData(const std::vector<BenchmarkSpec> &Suite,
     // evaluation recompiles it under induced filters) -- and its block
     // count is handed to load() as an extra integrity check, so a stale
     // entry that somehow survived the versioned key is invalidated, not
-    // believed.
-    Run.Prog = ProgramGenerator(Spec).generate();
+    // believed.  The spec's registered family does the synthesis and
+    // versions its half of the cache key.
+    Run.Prog = generateWorkloadProgram(Spec);
 
-    CorpusKey Key{Spec.Name, Model.getName(), GeneratorVersion,
-                  TracePipelineVersion, specFingerprint(Spec)};
+    CorpusKey Key{Spec.Name,           Model.getName(),
+                  workloadGeneratorVersion(Spec), TracePipelineVersion,
+                  specFingerprint(Spec), Spec.Family};
     if (Cache) {
       if (std::optional<CachedRun> Hit =
               Cache->load(Key, Run.Prog.totalBlocks())) {

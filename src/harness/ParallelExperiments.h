@@ -48,8 +48,8 @@ public:
   /// records and fixed-policy reports from disk when a valid entry exists
   /// -- bit-identical to retracing, including at any job count -- and
   /// populates the cache when one does not.  Tracing is a pure function
-  /// of the cache key (benchmark, model, GeneratorVersion,
-  /// TracePipelineVersion, spec fingerprint), which is what makes
+  /// of the cache key (benchmark, model, family, the family's generator
+  /// version, TracePipelineVersion, spec fingerprint), which is what makes
   /// serving cached records sound -- provided the versions are bumped
   /// with the code they stand for (see their doc comments).
   void setCorpusCache(CorpusCache *C) { Cache = C; }

@@ -66,8 +66,9 @@ bool getReport(const char *&P, const char *End, CompileReport &R) {
 CorpusCache::CorpusCache(std::string Directory) : Dir(std::move(Directory)) {}
 
 std::string CorpusCache::entryPath(const CorpusKey &K) const {
+  std::string FamilySeg = K.Family.empty() ? "" : sanitize(K.Family) + "__";
   return Dir + "/" + sanitize(K.Benchmark) + "__" + sanitize(K.Model) +
-         "__g" + std::to_string(K.GeneratorVersion) + "p" +
+         "__" + FamilySeg + "g" + std::to_string(K.GeneratorVersion) + "p" +
          std::to_string(K.PipelineVersion) + "__" +
          hex64(K.SpecFingerprint) + ".sfcc";
 }
@@ -115,17 +116,18 @@ CorpusCache::load(const CorpusKey &K,
   uint16_t FeatCount;
   uint32_t GenVersion, PipeVersion;
   uint64_t Fingerprint;
-  std::string Bench, Model;
+  std::string Bench, Model, Family;
   if (!wire::getU16(P, End, FeatCount) || FeatCount != NumFeatures ||
       !wire::getU32(P, End, GenVersion) ||
       !wire::getU32(P, End, PipeVersion) ||
       !wire::getU64(P, End, Fingerprint) ||
-      !wire::getString(P, End, Bench) || !wire::getString(P, End, Model))
+      !wire::getString(P, End, Bench) || !wire::getString(P, End, Model) ||
+      !wire::getString(P, End, Family))
     return Invalid();
   if (GenVersion != K.GeneratorVersion ||
       PipeVersion != K.PipelineVersion ||
       Fingerprint != K.SpecFingerprint || Bench != K.Benchmark ||
-      Model != K.Model)
+      Model != K.Model || Family != K.Family)
     return Invalid();
 
   CachedRun Run;
@@ -170,6 +172,7 @@ bool CorpusCache::store(const CorpusKey &K,
   wire::putU64(Body, K.SpecFingerprint);
   wire::putString(Body, K.Benchmark);
   wire::putString(Body, K.Model);
+  wire::putString(Body, K.Family);
   putReport(Body, NeverReport);
   putReport(Body, AlwaysReport);
   wire::putU64(Body, Records.size());

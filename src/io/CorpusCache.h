@@ -8,14 +8,17 @@
 /// 8,827 blocks, each scheduled and simulated twice -- and its output is a
 /// pure function of the cache key, so a warm run skips the whole phase.
 ///
-/// An entry is keyed by (benchmark name, machine-model name, generator
-/// version, trace-pipeline version, benchmark-spec fingerprint):
-///   - GeneratorVersion (workloads/ProgramGenerator.h) must be bumped by
-///     any change to what the generator emits;
-///     TracePipelineVersion (harness/Experiments.h) by any change to the
-///     scheduler, simulator or machine-model tables the records are
-///     computed with.  Bumping either invalidates every cached corpus at
-///     once.
+/// An entry is keyed by (benchmark name, machine-model name, workload
+/// family, per-family generator version, trace-pipeline version,
+/// benchmark-spec fingerprint):
+///   - Family + GeneratorVersion come from the benchmark's registered
+///     WorkloadFamily (workloads/WorkloadFamily.h): each family versions
+///     its own program synthesis, so bumping one family's version
+///     invalidates that family's corpora and leaves every other family
+///     warm.  TracePipelineVersion (harness/Experiments.h) must be
+///     bumped by any change to the scheduler, simulator or machine-model
+///     tables the records are computed with, and invalidates every
+///     cached corpus at once.
 ///   - The spec fingerprint hashes every BenchmarkSpec field, so a
 ///     modified spec (a shrunken test suite, an ablation variant) can
 ///     never collide with the stock benchmark of the same name.
@@ -56,9 +59,10 @@ inline constexpr char CorpusEntryMagic[] = "SFCC1";
 struct CorpusKey {
   std::string Benchmark;        ///< BenchmarkSpec::Name
   std::string Model;            ///< MachineModel::getName()
-  uint32_t GeneratorVersion = 0; ///< workloads/ProgramGenerator.h
+  uint32_t GeneratorVersion = 0; ///< the family's version()
   uint32_t PipelineVersion = 0;  ///< harness/Experiments.h
   uint64_t SpecFingerprint = 0;  ///< specFingerprint(Spec)
+  std::string Family;            ///< BenchmarkSpec::Family ("" pre-registry)
 };
 
 /// What generateSuiteData produces per benchmark, minus the Program
@@ -78,7 +82,9 @@ public:
   const std::string &directory() const { return Dir; }
 
   /// The entry file for \p K:
-  /// <dir>/<bench>__<model>__g<gen>p<pipe>__<hash>.sfcc.
+  /// <dir>/<bench>__<model>__<family>__g<gen>p<pipe>__<hash>.sfcc
+  /// (the family segment is omitted for family-less keys, which keep
+  /// their historical paths).
   std::string entryPath(const CorpusKey &K) const;
 
   /// Loads the entry for \p K.  nullopt on a cold miss or on any

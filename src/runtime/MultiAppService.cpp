@@ -1,0 +1,320 @@
+//===- runtime/MultiAppService.cpp - Interleaved multi-app serving ----------===//
+
+#include "runtime/MultiAppService.h"
+
+#include "io/TraceStore.h"
+#include "runtime/MethodCompiler.h"
+#include "runtime/RecompileQueue.h"
+#include "sched/SchedContext.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace schedfilter;
+
+bool schedfilter::operator==(const MultiAppStats &A, const MultiAppStats &B) {
+  return A.Total == B.Total && A.AppNames == B.AppNames &&
+         A.PerApp == B.PerApp;
+}
+
+std::vector<AppSpec> schedfilter::expandWorkloadMix(
+    const std::vector<std::pair<std::string, double>> &Mix) {
+  std::vector<AppSpec> Apps;
+  for (const auto &[FamilyName, Weight] : Mix) {
+    const WorkloadFamily *F = findWorkloadFamily(FamilyName);
+    assert(F && "unvalidated family name (tools check before expanding)");
+    if (!F)
+      continue;
+    std::vector<BenchmarkSpec> Suite = F->makeBenchmarkSuite();
+    assert(!Suite.empty() && "family with an empty suite");
+    double Per = Weight / static_cast<double>(Suite.size());
+    for (BenchmarkSpec &S : Suite)
+      Apps.push_back({std::move(S), Per});
+  }
+  return Apps;
+}
+
+uint64_t schedfilter::workloadMixSeed(const std::vector<AppSpec> &Apps) {
+  // Canonical serialization of every app's identity, hashed with the one
+  // FNV-1a implementation -- the same stability contract as
+  // specFingerprint.  The seed, not the mix string, is what every layer
+  // forks from, so "specjvm98:1" and "specjvm98:1.0" are the same
+  // session.
+  std::string B;
+  wire::putU64(B, Apps.size());
+  for (const AppSpec &A : Apps) {
+    wire::putString(B, A.Spec.Family);
+    wire::putString(B, A.Spec.Name);
+    wire::putU64(B, A.Spec.Seed);
+    wire::putF64(B, A.Weight);
+  }
+  return wire::fnv1a(B.data(), B.size());
+}
+
+std::vector<Program>
+schedfilter::generateMixPrograms(const std::vector<AppSpec> &Apps) {
+  std::vector<Program> Programs;
+  Programs.reserve(Apps.size());
+  for (const AppSpec &A : Apps)
+    Programs.push_back(generateWorkloadProgram(A.Spec));
+  return Programs;
+}
+
+MultiAppService::MultiAppService(const std::vector<AppSpec> &Apps,
+                                 const std::vector<Program> &Programs,
+                                 const MachineModel &Model,
+                                 const ServiceConfig &Cfg,
+                                 const RuleSet *Rules, TaskPool &Pool,
+                                 const std::vector<double> *SharedBaselineCost)
+    : Apps(Apps), Programs(Programs), Model(Model), Cfg(Cfg), Rules(Rules),
+      Pool(Pool) {
+  assert(Apps.size() == Programs.size() && "one program per app");
+  assert((Cfg.OptimizingPolicy == SchedulingPolicy::Filtered) ==
+             (Rules != nullptr) &&
+         "rules must be supplied exactly for the Filtered policy");
+
+  // App-interleave CDF and, per app, the method-draw CDF -- the same
+  // profile-weight distribution CompileService builds, one per tenant.
+  size_t NumMethods = 0;
+  for (size_t A = 0; A != Apps.size(); ++A) {
+    TotalAppWeight += Apps[A].Weight;
+    AppCumWeight.push_back(TotalAppWeight);
+    Families.push_back(findWorkloadFamily(Apps[A].Spec.Family));
+
+    std::vector<double> Cum;
+    double Total = 0.0;
+    for (const Method &M : Programs[A]) {
+      double W = 0.0;
+      for (const BasicBlock &BB : M)
+        W += static_cast<double>(BB.getExecCount());
+      Total += W;
+      Cum.push_back(Total);
+    }
+    CumWeight.push_back(std::move(Cum));
+    TotalWeight.push_back(Total);
+
+    Offset.push_back(NumMethods);
+    NumMethods += Programs[A].size();
+  }
+
+  if (SharedBaselineCost) {
+    assert(SharedBaselineCost->size() == NumMethods &&
+           "shared baseline costs must come from the same apps");
+    BaselineCost = *SharedBaselineCost;
+    return;
+  }
+  // Baseline tier per global method id, chunk-parallel with index-owned
+  // results like CompileService's constructor.
+  BaselineCost.resize(NumMethods);
+  size_t NumChunks = std::min<size_t>(NumMethods, Pool.jobs());
+  if (NumChunks) {
+    size_t PerChunk = (NumMethods + NumChunks - 1) / NumChunks;
+    Pool.parallelFor(NumChunks, [&](size_t C) {
+      SchedContext Ctx;
+      MethodCompiler MC(Model, Ctx);
+      size_t End = std::min(NumMethods, (C + 1) * PerChunk);
+      for (size_t I = C * PerChunk; I < End; ++I) {
+        size_t A = appOf(I);
+        CompileReport R;
+        MC.compileMethod(Programs[A][I - Offset[A]], SchedulingPolicy::Never,
+                         nullptr, R);
+        BaselineCost[I] = R.SimulatedTime;
+      }
+    });
+  }
+}
+
+size_t MultiAppService::appOf(size_t GlobalMethod) const {
+  size_t A = static_cast<size_t>(
+      std::upper_bound(Offset.begin(), Offset.end(), GlobalMethod) -
+      Offset.begin());
+  return A - 1;
+}
+
+MultiAppStats MultiAppService::run() {
+  MultiAppStats St;
+  St.PerApp.resize(Apps.size());
+  for (size_t A = 0; A != Apps.size(); ++A) {
+    St.AppNames.push_back(Apps[A].Spec.Name);
+    St.PerApp[A].MethodsTotal = Programs[A].size();
+    St.Total.MethodsTotal += Programs[A].size();
+  }
+  const size_t NumMethods = BaselineCost.size();
+  if (NumMethods == 0 || TotalAppWeight <= 0.0)
+    return St;
+
+  std::vector<double> Cost = BaselineCost;
+  std::vector<Tier> Tiers(NumMethods, Tier::Baseline);
+  std::vector<uint32_t> Samples(NumMethods, 0);
+  std::vector<bool> Pending(NumMethods, false);
+  RecompileQueue Queue(Cfg.QueueCap);
+
+  // The session's entropy: stream 0 decides *which app* owns each tick;
+  // stream A+1 is app A's private method sequence.  Because the
+  // substreams never interact, reweighting the mix reshuffles only the
+  // schedule, never any app's own draw sequence.
+  Rng Interleave = Rng(Cfg.StreamSeed).fork(0);
+  std::vector<Rng> AppStream;
+  for (size_t A = 0; A != Apps.size(); ++A)
+    AppStream.push_back(Rng(Cfg.StreamSeed).fork(A + 1));
+
+  struct CompileOutcome {
+    CompileReport Report;
+    uint64_t FilterLS = 0;
+    uint64_t FilterNS = 0;
+  };
+  std::vector<uint32_t> Drained;
+  std::vector<CompileOutcome> Outcomes;
+  double QueueDepthSum = 0.0;
+
+  for (uint64_t Tick = 0; Tick < Cfg.Invocations;) {
+    uint64_t EpochEnd = std::min(Tick + Cfg.EpochLen, Cfg.Invocations);
+    for (; Tick != EpochEnd; ++Tick) {
+      // Whose tick is it?  One uniform draw on the interleave CDF.
+      double U = Interleave.uniform() * TotalAppWeight;
+      size_t A = static_cast<size_t>(
+          std::upper_bound(AppCumWeight.begin(), AppCumWeight.end(), U) -
+          AppCumWeight.begin());
+      A = std::min(A, Apps.size() - 1);
+      if (TotalWeight[A] <= 0.0)
+        continue; // degenerate app (empty program); tick still elapses
+
+      // The app's family draws the invoked method from the app's own
+      // substream.
+      size_t Local;
+      if (Families[A]) {
+        Local = Families[A]->nextMethod(A, AppStream[A], CumWeight[A],
+                                        TotalWeight[A]);
+      } else {
+        double V = AppStream[A].uniform() * TotalWeight[A];
+        Local = static_cast<size_t>(
+            std::upper_bound(CumWeight[A].begin(), CumWeight[A].end(), V) -
+            CumWeight[A].begin());
+        Local = std::min(Local, CumWeight[A].size() - 1);
+      }
+      size_t M = Offset[A] + Local;
+
+      ServiceStats &App = St.PerApp[A];
+      ++App.Invocations;
+      St.Total.AppTime += Cost[M];
+      St.Total.BaselineAppTime += BaselineCost[M];
+      App.AppTime += Cost[M];
+      App.BaselineAppTime += BaselineCost[M];
+      if (Tiers[M] == Tier::Baseline) {
+        ++St.Total.BaselineInvocations;
+        ++App.BaselineInvocations;
+      } else {
+        ++St.Total.OptimizedInvocations;
+        ++App.OptimizedInvocations;
+      }
+
+      if (Tick % Cfg.SampleEvery == 0) {
+        ++St.Total.SampledInvocations;
+        ++Samples[M];
+        if (Tiers[M] == Tier::Baseline && !Pending[M] &&
+            Samples[M] >= Cfg.HotThreshold) {
+          if (Queue.push(static_cast<uint32_t>(M))) {
+            Pending[M] = true;
+            ++St.Total.Promotions;
+            ++App.Promotions;
+          } else {
+            ++St.Total.Deferred;
+            ++App.Deferred;
+          }
+        }
+      }
+    }
+
+    // Epoch boundary: the shared virtual compiler drains for all apps.
+    ++St.Total.Epochs;
+    St.Total.MaxQueueDepth =
+        std::max<uint64_t>(St.Total.MaxQueueDepth, Queue.size());
+    QueueDepthSum += static_cast<double>(Queue.size());
+
+    Drained.clear();
+    for (uint32_t I = 0; I != Cfg.DrainPerEpoch; ++I) {
+      uint32_t M = 0;
+      if (!Queue.pop(M))
+        break;
+      Drained.push_back(M);
+    }
+
+    Outcomes.assign(Drained.size(), CompileOutcome());
+    Pool.parallelFor(Drained.size(), [&](size_t I) {
+      SchedContext Ctx;
+      MethodCompiler MC(Model, Ctx);
+      size_t A = appOf(Drained[I]);
+      const Method &Meth = Programs[A][Drained[I] - Offset[A]];
+      CompileOutcome &Out = Outcomes[I];
+      if (Rules && Cfg.OptimizingPolicy == SchedulingPolicy::Filtered) {
+        ScheduleFilter F(*Rules);
+        MC.compileMethod(Meth, Cfg.OptimizingPolicy, &F, Out.Report);
+        Out.FilterLS = F.numScheduleDecisions();
+        Out.FilterNS = F.numSkipDecisions();
+      } else {
+        MC.compileMethod(Meth, Cfg.OptimizingPolicy, nullptr, Out.Report);
+      }
+    });
+
+    // Install in drain order; each outcome folds into its app's stats
+    // and the aggregate.
+    for (size_t I = 0; I != Drained.size(); ++I) {
+      uint32_t M = Drained[I];
+      const CompileOutcome &Out = Outcomes[I];
+      ServiceStats &App = St.PerApp[appOf(M)];
+      Tiers[M] = Tier::Optimizing;
+      Pending[M] = false;
+      Cost[M] = Out.Report.SimulatedTime;
+      for (ServiceStats *Dst : {&St.Total, &App}) {
+        Dst->SchedulingWork += Out.Report.SchedulingWork;
+        Dst->FilterWork += Out.Report.FilterWork;
+        Dst->BlocksCompiled += Out.Report.NumBlocks;
+        Dst->BlocksScheduled += Out.Report.NumScheduled;
+        Dst->FilterLS += Out.FilterLS;
+        Dst->FilterNS += Out.FilterNS;
+        ++Dst->CompiledMethods;
+      }
+    }
+  }
+
+  St.Total.Invocations = Cfg.Invocations;
+  St.Total.FinalQueueDepth = Queue.size();
+  St.Total.MeanQueueDepth =
+      St.Total.Epochs ? QueueDepthSum / static_cast<double>(St.Total.Epochs)
+                      : 0.0;
+  for (size_t M = 0; M != NumMethods; ++M)
+    if (Tiers[M] == Tier::Optimizing) {
+      ++St.Total.MethodsOptimized;
+      ++St.PerApp[appOf(M)].MethodsOptimized;
+    }
+  return St;
+}
+
+MultiAppComparison schedfilter::runMultiAppComparison(
+    const std::vector<AppSpec> &Apps, const std::vector<Program> &Programs,
+    const MachineModel &Model, ServiceConfig Cfg, const RuleSet &Rules,
+    TaskPool &Pool) {
+  MultiAppComparison Cmp;
+
+  Cfg.OptimizingPolicy = SchedulingPolicy::Always;
+  MultiAppService Always(Apps, Programs, Model, Cfg, nullptr, Pool);
+  Cmp.Always = Always.run();
+
+  Cfg.OptimizingPolicy = SchedulingPolicy::Filtered;
+  Cmp.Filtered = MultiAppService(Apps, Programs, Model, Cfg, &Rules, Pool,
+                                 &Always.baselineCosts())
+                     .run();
+
+  auto Recoup = [](const ServiceStats &LS, const ServiceStats &LN) {
+    if (!LS.SchedulingWork)
+      return 0.0;
+    return (static_cast<double>(LS.SchedulingWork) -
+            static_cast<double>(LN.SchedulingWork)) /
+           static_cast<double>(LS.SchedulingWork);
+  };
+  Cmp.RecoupedWorkFraction = Recoup(Cmp.Always.Total, Cmp.Filtered.Total);
+  for (size_t A = 0; A != Apps.size(); ++A)
+    Cmp.PerAppRecoup.push_back(
+        Recoup(Cmp.Always.PerApp[A], Cmp.Filtered.PerApp[A]));
+  return Cmp;
+}

@@ -1,0 +1,143 @@
+//===- runtime/MultiAppService.h - Interleaved multi-app serving -*- C++ -*-===//
+///
+/// \file
+/// The multi-tenant counterpart of CompileService: one virtual machine
+/// serving an interleaved invocation stream drawn from several
+/// applications at once -- the traffic shape a server JIT actually sees,
+/// and the regime the --workload flag exposes.  Each app is one
+/// benchmark of a registered WorkloadFamily, weighted by its share of
+/// the mix; the service keeps a single global virtual clock, hotness
+/// sampler, bounded recompilation queue and epoch drain across all apps,
+/// so apps compete for compilation bandwidth exactly as tenants compete
+/// in a shared VM.
+///
+/// Determinism mirrors CompileService and is pinned by runtime_test:
+///   - which app runs at tick T is a pure function of the session seed
+///     (Rng(StreamSeed).fork(0) drives the app interleave);
+///   - which method the chosen app invokes is a pure function of the
+///     app's own substream (Rng(StreamSeed).fork(AppId + 1)), drawn
+///     through its family's nextMethod hook -- so adding app B never
+///     perturbs app A's method sequence, only its schedule on the clock;
+///   - drained requests compile into index-owned slots and install in
+///     drain order; per-app stats fold in tick/drain order.
+/// Everything is bit-identical at any --jobs and cache temperature.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_RUNTIME_MULTIAPPSERVICE_H
+#define SCHEDFILTER_RUNTIME_MULTIAPPSERVICE_H
+
+#include "runtime/CompileService.h"
+#include "workloads/WorkloadFamily.h"
+
+namespace schedfilter {
+
+/// One tenant of the mixed stream: a family benchmark plus its share of
+/// the interleave (relative; normalized by the service).
+struct AppSpec {
+  BenchmarkSpec Spec;
+  double Weight = 1.0;
+};
+
+/// Expands a validated --workload mix (family name, family weight) into
+/// one AppSpec per benchmark of each family, in registry/suite order.  A
+/// family's weight is split evenly across its benchmarks, so
+/// "specjvm98:3,serverloop:1" gives the seven SPECjvm98 apps 3/7 each
+/// and the three serverloop apps 1/3 each.  Unknown family names are a
+/// caller bug (tools validate first) and assert.
+std::vector<AppSpec>
+expandWorkloadMix(const std::vector<std::pair<std::string, double>> &Mix);
+
+/// The session seed of a mix: a stable hash over every app's identity
+/// (family, benchmark name, spec seed, weight).  The interleave and the
+/// per-app substreams all derive from it, so the mix *is* the stream --
+/// same mix, same traffic, in any tool at any parallelism.
+uint64_t workloadMixSeed(const std::vector<AppSpec> &Apps);
+
+/// Generates every app's program through its registered family, in app
+/// order (apps are independent; order is presentation only).
+std::vector<Program> generateMixPrograms(const std::vector<AppSpec> &Apps);
+
+/// What one multi-app run measures: the aggregate ServiceStats plus one
+/// per-app breakdown.  Aggregate integer fields equal the sum of the
+/// per-app fields; the queue/epoch fields (MaxQueueDepth, MeanQueueDepth,
+/// FinalQueueDepth, Epochs, SampledInvocations) describe the shared
+/// service and are aggregate-only (zero per app).  The double AppTime
+/// folds accumulate in global tick order, so the aggregate is NOT
+/// necessarily the bitwise sum of the per-app values -- compare
+/// like-for-like (runtime_test cross-checks with the integer fields).
+struct MultiAppStats {
+  ServiceStats Total;
+  std::vector<std::string> AppNames; ///< BenchmarkSpec::Name, app order
+  std::vector<ServiceStats> PerApp;
+};
+
+bool operator==(const MultiAppStats &A, const MultiAppStats &B);
+inline bool operator!=(const MultiAppStats &A, const MultiAppStats &B) {
+  return !(A == B);
+}
+
+/// The multi-tenant adaptive-JIT engine.  Construct per (apps, programs,
+/// model, config) and call run(); reusable like CompileService.
+class MultiAppService {
+public:
+  /// \p Programs must be generateMixPrograms(Apps) (or bit-identical);
+  /// both are borrowed for the service's lifetime.  \p Cfg.StreamSeed
+  /// should come from workloadMixSeed.  \p Rules as in CompileService.
+  /// \p SharedBaselineCost, when given, must be another service's
+  /// baselineCosts() over the same apps/programs/model.
+  MultiAppService(const std::vector<AppSpec> &Apps,
+                  const std::vector<Program> &Programs,
+                  const MachineModel &Model, const ServiceConfig &Cfg,
+                  const RuleSet *Rules, TaskPool &Pool,
+                  const std::vector<double> *SharedBaselineCost = nullptr);
+
+  /// Replays the whole interleaved stream and returns per-app + total
+  /// stats.
+  MultiAppStats run();
+
+  /// Per-invocation baseline cost per global method id (app-major);
+  /// sharable across services over the same apps/programs/model.
+  const std::vector<double> &baselineCosts() const { return BaselineCost; }
+
+private:
+  const std::vector<AppSpec> &Apps;
+  const std::vector<Program> &Programs;
+  const MachineModel &Model;
+  ServiceConfig Cfg;
+  const RuleSet *Rules;
+  TaskPool &Pool;
+
+  /// App-interleave CDF over AppSpec weights.
+  std::vector<double> AppCumWeight;
+  double TotalAppWeight = 0.0;
+  /// Per-app method-draw CDFs (profile weights, as in CompileService).
+  std::vector<std::vector<double>> CumWeight;
+  std::vector<double> TotalWeight;
+  /// Global method ids are app-major: app A's method m is Offset[A] + m.
+  std::vector<size_t> Offset;
+  std::vector<const WorkloadFamily *> Families; ///< per app, may be null
+  std::vector<double> BaselineCost; ///< per global method id
+
+  size_t appOf(size_t GlobalMethod) const;
+};
+
+/// The mixed-traffic counterpart of runServeComparison: the identical
+/// interleaved stream served under both optimizing-tier policies, with
+/// the recouped-work headline overall and per app.
+struct MultiAppComparison {
+  MultiAppStats Always;   ///< optimizing tier = LS
+  MultiAppStats Filtered; ///< optimizing tier = L/N (filter decides)
+  double RecoupedWorkFraction = 0.0;
+  std::vector<double> PerAppRecoup; ///< same convention, per app
+};
+
+MultiAppComparison runMultiAppComparison(const std::vector<AppSpec> &Apps,
+                                         const std::vector<Program> &Programs,
+                                         const MachineModel &Model,
+                                         ServiceConfig Cfg,
+                                         const RuleSet &Rules, TaskPool &Pool);
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_RUNTIME_MULTIAPPSERVICE_H

@@ -33,6 +33,11 @@ uint64_t schedfilter::specFingerprint(const BenchmarkSpec &S) {
   wire::putF64(B, S.SafepointProb);
   wire::putF64(B, S.HotnessSkew);
   wire::putU64(B, S.MaxExec);
+  // Family joined the spec after the fields above; it is a generator
+  // input (it selects which family's load() runs), so it must be part of
+  // the fingerprint -- a spec reassigned to another family can never be
+  // served that family's stale trace.
+  wire::putString(B, S.Family);
   return wire::fnv1a(B.data(), B.size());
 }
 
@@ -185,6 +190,8 @@ std::vector<BenchmarkSpec> schedfilter::specjvm98Suite() {
     Suite.push_back(S);
   }
 
+  for (BenchmarkSpec &S : Suite)
+    S.Family = "specjvm98";
   return Suite;
 }
 
@@ -302,18 +309,10 @@ std::vector<BenchmarkSpec> schedfilter::fpSuite() {
     Suite.push_back(S);
   }
 
+  for (BenchmarkSpec &S : Suite)
+    S.Family = "fp";
   return Suite;
 }
 
-const BenchmarkSpec *schedfilter::findBenchmarkSpec(const std::string &Name) {
-  static const std::vector<BenchmarkSpec> All = [] {
-    std::vector<BenchmarkSpec> V = specjvm98Suite();
-    std::vector<BenchmarkSpec> F = fpSuite();
-    V.insert(V.end(), F.begin(), F.end());
-    return V;
-  }();
-  for (const BenchmarkSpec &S : All)
-    if (S.Name == Name)
-      return &S;
-  return nullptr;
-}
+// findBenchmarkSpec lives in WorkloadFamily.cpp: it indexes every
+// registered family's suite, not just the two defined here.

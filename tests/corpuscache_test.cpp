@@ -73,7 +73,7 @@ TEST(CorpusCache, StoreLoadRoundTrip) {
   TempCacheDir Dir("cc-roundtrip");
   CorpusCache Cache(Dir.str());
   CorpusKey Key{"db", "ppc7410", GeneratorVersion,
-                TracePipelineVersion, 0x1234};
+                TracePipelineVersion, 0x1234, ""};
 
   CachedRun Run;
   BlockRecord R{};
@@ -115,7 +115,7 @@ TEST(CorpusCache, EveryKeyIngredientIsolatesEntries) {
   TempCacheDir Dir("cc-keys");
   CorpusCache Cache(Dir.str());
   CorpusKey Key{"db", "ppc7410", GeneratorVersion,
-                TracePipelineVersion, 0x1234};
+                TracePipelineVersion, 0x1234, ""};
   CachedRun Run;
   Run.Records.emplace_back();
   ASSERT_TRUE(Cache.store(Key, Run));
@@ -145,6 +145,41 @@ TEST(CorpusCache, EveryKeyIngredientIsolatesEntries) {
   EXPECT_EQ(Cache.stats().InvalidEntries, InvalidBefore + 1);
 }
 
+TEST(CorpusCache, FamilyVersionBumpInvalidatesOnlyThatFamily) {
+  // The per-family generator version promise (WorkloadFamily::version):
+  // bumping one family's version misses only that family's entries;
+  // every other family still hits, and the family name itself is a key
+  // ingredient.
+  TempCacheDir Dir("cc-family");
+  CorpusCache Cache(Dir.str());
+  CorpusKey Server{"httpd", "ppc7410", 1, TracePipelineVersion, 0x1111,
+                   "serverloop"};
+  CorpusKey Chase{"listwalk", "ppc7410", 1, TracePipelineVersion, 0x2222,
+                  "ptrchase"};
+  CachedRun Run;
+  Run.Records.emplace_back();
+  ASSERT_TRUE(Cache.store(Server, Run));
+  ASSERT_TRUE(Cache.store(Chase, Run));
+
+  CorpusKey ServerV2 = Server;
+  ServerV2.GeneratorVersion = 2;
+  EXPECT_FALSE(Cache.load(ServerV2).has_value());
+  EXPECT_TRUE(Cache.load(Chase).has_value());   // other family unharmed
+  EXPECT_TRUE(Cache.load(Server).has_value());  // old version still readable
+
+  // Same spec under a different family is a different corpus.
+  CorpusKey Refiled = Server;
+  Refiled.Family = "fpkernel";
+  EXPECT_FALSE(Cache.load(Refiled).has_value());
+
+  // The family is visible in the entry path (family-less keys keep the
+  // pre-registry layout; both pins live in io/CorpusCache).
+  EXPECT_NE(Cache.entryPath(Server).find("__serverloop__"),
+            std::string::npos);
+  CorpusKey Bare{"db", "ppc7410", 1, TracePipelineVersion, 0x3333, ""};
+  EXPECT_EQ(Cache.entryPath(Bare).find("____"), std::string::npos);
+}
+
 TEST(CorpusCache, RenamedEntryIsNotBelieved) {
   // The key is embedded in the entry and verified on load: renaming a
   // file onto another key's path must count as invalid, not serve the
@@ -152,9 +187,9 @@ TEST(CorpusCache, RenamedEntryIsNotBelieved) {
   TempCacheDir Dir("cc-rename");
   CorpusCache Cache(Dir.str());
   CorpusKey Key{"db", "ppc7410", GeneratorVersion,
-                TracePipelineVersion, 0x1234};
+                TracePipelineVersion, 0x1234, ""};
   CorpusKey Victim{"jess", "ppc7410", GeneratorVersion,
-                   TracePipelineVersion, 0x9999};
+                   TracePipelineVersion, 0x9999, ""};
   CachedRun Run;
   Run.Records.emplace_back();
   ASSERT_TRUE(Cache.store(Key, Run));
@@ -167,7 +202,7 @@ TEST(CorpusCache, CorruptEntriesAreInvalidNotFatal) {
   TempCacheDir Dir("cc-corrupt");
   CorpusCache Cache(Dir.str());
   CorpusKey Key{"db", "ppc7410", GeneratorVersion,
-                TracePipelineVersion, 0x1234};
+                TracePipelineVersion, 0x1234, ""};
   CachedRun Run;
   Run.Records.emplace_back();
   Run.Records.emplace_back();

@@ -150,8 +150,9 @@ TEST(Golden, Table5IdenticalFromEveryArtifactSource) {
   std::vector<BenchmarkSpec> Specs = specjvm98Suite();
   ASSERT_EQ(Specs.size(), Suite.size());
   for (size_t I = 0; I != Suite.size(); ++I) {
-    CorpusKey Key{Specs[I].Name, Suite[I].ModelName, GeneratorVersion,
-                  TracePipelineVersion, specFingerprint(Specs[I])};
+    CorpusKey Key{Specs[I].Name,           Suite[I].ModelName,
+                  GeneratorVersion,        TracePipelineVersion,
+                  specFingerprint(Specs[I]), Specs[I].Family};
     ASSERT_TRUE(Seed.store(Key, Suite[I].Records, Suite[I].NeverReport,
                            Suite[I].AlwaysReport));
   }

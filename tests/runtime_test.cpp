@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/CompileService.h"
+#include "runtime/MultiAppService.h"
 #include "runtime/RecompileQueue.h"
 #include "target/MachineModel.h"
 #include "workloads/ProgramGenerator.h"
@@ -232,6 +233,146 @@ TEST(CompileService, ServeComparisonRecoupsWork) {
   EXPECT_EQ(Cmp.Always.BaselineAppTime, Cmp.Filtered.BaselineAppTime);
   // ...so the work delta is the filter's recouped scheduling time.
   EXPECT_LT(Cmp.Filtered.SchedulingWork, Cmp.Always.SchedulingWork);
+  EXPECT_GT(Cmp.RecoupedWorkFraction, 0.0);
+  EXPECT_LT(Cmp.RecoupedWorkFraction, 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// MultiAppService (interleaved multi-app streams)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A two-family mix with uneven weights: enough apps to make the
+/// interleave non-trivial, cheap enough for a unit test.
+std::vector<AppSpec> testMix() {
+  return expandWorkloadMix({{"serverloop", 3.0}, {"ptrchase", 1.0}});
+}
+
+} // namespace
+
+TEST(MultiAppService, ExpandSplitsFamilyWeightAcrossApps) {
+  std::vector<AppSpec> Apps = testMix();
+  ASSERT_EQ(Apps.size(), 6u); // three serverloop + three ptrchase apps
+  for (const AppSpec &A : Apps.front().Spec.Family == "serverloop"
+           ? std::vector<AppSpec>(Apps.begin(), Apps.begin() + 3)
+           : std::vector<AppSpec>())
+    EXPECT_DOUBLE_EQ(A.Weight, 1.0); // 3.0 over three benchmarks
+  EXPECT_EQ(Apps[0].Spec.Family, "serverloop");
+  EXPECT_EQ(Apps[3].Spec.Family, "ptrchase");
+  EXPECT_DOUBLE_EQ(Apps[3].Weight, 1.0 / 3.0);
+}
+
+TEST(MultiAppService, MixSeedCoversEveryAppIdentity) {
+  std::vector<AppSpec> Apps = testMix();
+  uint64_t Seed = workloadMixSeed(Apps);
+  // Reweighting, renaming, or reseeding any app is a different session.
+  std::vector<AppSpec> Reweighted = Apps;
+  Reweighted[0].Weight *= 2.0;
+  EXPECT_NE(workloadMixSeed(Reweighted), Seed);
+  std::vector<AppSpec> Reseeded = Apps;
+  Reseeded[1].Spec.Seed ^= 1;
+  EXPECT_NE(workloadMixSeed(Reseeded), Seed);
+  // And it is a pure function of the identities.
+  EXPECT_EQ(workloadMixSeed(testMix()), Seed);
+}
+
+TEST(MultiAppService, MixedStreamBitIdenticalAtAnyJobCount) {
+  // The acceptance guarantee for the interleaved regime: every field of
+  // every per-app ServiceStats -- doubles included -- identical at
+  // jobs=1 and jobs=4.
+  std::vector<AppSpec> Apps = testMix();
+  std::vector<Program> Programs = generateMixPrograms(Apps);
+  MachineModel M = MachineModel::ppc7410();
+  RuleSet RS = testRules();
+  ServiceConfig Cfg = testConfig();
+  Cfg.StreamSeed = workloadMixSeed(Apps);
+  TaskPool Serial(1), Wide(4);
+  MultiAppStats S1 = MultiAppService(Apps, Programs, M, Cfg, &RS, Serial).run();
+  MultiAppStats S4 = MultiAppService(Apps, Programs, M, Cfg, &RS, Wide).run();
+  EXPECT_TRUE(S1 == S4);
+  // Non-vacuous: the mixed stream promoted and optimized for real.
+  EXPECT_GT(S1.Total.Promotions, 0u);
+  EXPECT_GT(S1.Total.SchedulingWork, 0u);
+  ASSERT_EQ(S1.PerApp.size(), Apps.size());
+}
+
+TEST(MultiAppService, AggregateIsSumOfPerAppIntegerFields) {
+  // The double AppTime folds in global tick order, so only the integer
+  // fields are promised to sum exactly (see MultiAppStats doc).
+  std::vector<AppSpec> Apps = testMix();
+  std::vector<Program> Programs = generateMixPrograms(Apps);
+  MachineModel M = MachineModel::ppc7410();
+  RuleSet RS = testRules();
+  ServiceConfig Cfg = testConfig();
+  Cfg.StreamSeed = workloadMixSeed(Apps);
+  TaskPool Pool(2);
+  MultiAppStats St = MultiAppService(Apps, Programs, M, Cfg, &RS, Pool).run();
+
+  ServiceStats Sum;
+  for (const ServiceStats &App : St.PerApp) {
+    Sum.Invocations += App.Invocations;
+    Sum.BaselineInvocations += App.BaselineInvocations;
+    Sum.OptimizedInvocations += App.OptimizedInvocations;
+    Sum.Promotions += App.Promotions;
+    Sum.Deferred += App.Deferred;
+    Sum.CompiledMethods += App.CompiledMethods;
+    Sum.MethodsOptimized += App.MethodsOptimized;
+    Sum.MethodsTotal += App.MethodsTotal;
+    Sum.BlocksCompiled += App.BlocksCompiled;
+    Sum.BlocksScheduled += App.BlocksScheduled;
+    Sum.SchedulingWork += App.SchedulingWork;
+    Sum.FilterWork += App.FilterWork;
+    Sum.FilterLS += App.FilterLS;
+    Sum.FilterNS += App.FilterNS;
+  }
+  EXPECT_EQ(Sum.Invocations, St.Total.Invocations);
+  EXPECT_EQ(Sum.BaselineInvocations, St.Total.BaselineInvocations);
+  EXPECT_EQ(Sum.OptimizedInvocations, St.Total.OptimizedInvocations);
+  EXPECT_EQ(Sum.Promotions, St.Total.Promotions);
+  EXPECT_EQ(Sum.Deferred, St.Total.Deferred);
+  EXPECT_EQ(Sum.CompiledMethods, St.Total.CompiledMethods);
+  EXPECT_EQ(Sum.MethodsOptimized, St.Total.MethodsOptimized);
+  EXPECT_EQ(Sum.MethodsTotal, St.Total.MethodsTotal);
+  EXPECT_EQ(Sum.BlocksCompiled, St.Total.BlocksCompiled);
+  EXPECT_EQ(Sum.BlocksScheduled, St.Total.BlocksScheduled);
+  EXPECT_EQ(Sum.SchedulingWork, St.Total.SchedulingWork);
+  EXPECT_EQ(Sum.FilterWork, St.Total.FilterWork);
+  EXPECT_EQ(Sum.FilterLS, St.Total.FilterLS);
+  EXPECT_EQ(Sum.FilterNS, St.Total.FilterNS);
+  // Queue/epoch fields describe the shared service and stay aggregate-only.
+  for (const ServiceStats &App : St.PerApp) {
+    EXPECT_EQ(App.Epochs, 0u);
+    EXPECT_EQ(App.MaxQueueDepth, 0u);
+    EXPECT_EQ(App.FinalQueueDepth, 0u);
+  }
+}
+
+TEST(MultiAppService, ComparisonSharesPromotionDynamics) {
+  std::vector<AppSpec> Apps = testMix();
+  std::vector<Program> Programs = generateMixPrograms(Apps);
+  MachineModel M = MachineModel::ppc7410();
+  RuleSet RS = testRules();
+  ServiceConfig Cfg = testConfig();
+  Cfg.StreamSeed = workloadMixSeed(Apps);
+  TaskPool Pool(2);
+  MultiAppComparison Cmp =
+      runMultiAppComparison(Apps, Programs, M, Cfg, RS, Pool);
+  // Identical promotion dynamics between the two optimizing tiers, per
+  // app and in aggregate...
+  EXPECT_EQ(Cmp.Always.Total.Promotions, Cmp.Filtered.Total.Promotions);
+  EXPECT_EQ(Cmp.Always.Total.BaselineAppTime,
+            Cmp.Filtered.Total.BaselineAppTime);
+  ASSERT_EQ(Cmp.PerAppRecoup.size(), Apps.size());
+  for (size_t A = 0; A != Apps.size(); ++A) {
+    EXPECT_EQ(Cmp.Always.PerApp[A].Invocations,
+              Cmp.Filtered.PerApp[A].Invocations);
+    EXPECT_EQ(Cmp.Always.PerApp[A].CompiledMethods,
+              Cmp.Filtered.PerApp[A].CompiledMethods);
+  }
+  // ...so the work delta is the filter's doing.
+  EXPECT_LT(Cmp.Filtered.Total.SchedulingWork,
+            Cmp.Always.Total.SchedulingWork);
   EXPECT_GT(Cmp.RecoupedWorkFraction, 0.0);
   EXPECT_LT(Cmp.RecoupedWorkFraction, 1.0);
 }

@@ -1,6 +1,7 @@
 //===- tests/workloads_test.cpp - workloads/ unit tests ----------------------===//
 
 #include "workloads/ProgramGenerator.h"
+#include "workloads/WorkloadFamily.h"
 
 #include "TestHelpers.h"
 #include "features/Features.h"
@@ -165,6 +166,101 @@ TEST(ProgramGenerator, HazardsAppearAtExpectedRates) {
   double Frac = static_cast<double>(WithYield) / static_cast<double>(Total);
   EXPECT_GT(Frac, 0.15);
   EXPECT_LT(Frac, 0.40);
+}
+
+//===----------------------------------------------------------------------===//
+// WorkloadFamily registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void expectProgramsIdentical(const Program &A, const Program &B) {
+  ASSERT_EQ(A.size(), B.size());
+  ASSERT_EQ(A.totalBlocks(), B.totalBlocks());
+  ASSERT_EQ(A.totalInstructions(), B.totalInstructions());
+  for (size_t MI = 0; MI != A.size(); ++MI) {
+    ASSERT_EQ(A[MI].size(), B[MI].size());
+    for (size_t BI = 0; BI != A[MI].size(); ++BI) {
+      EXPECT_EQ(A[MI][BI].toString(), B[MI][BI].toString());
+      EXPECT_EQ(A[MI][BI].getExecCount(), B[MI][BI].getExecCount());
+    }
+  }
+}
+
+} // namespace
+
+TEST(WorkloadRegistry, BuiltinFamiliesInRegistrationOrder) {
+  const std::vector<const WorkloadFamily *> &Fams =
+      WorkloadRegistry::instance().families();
+  ASSERT_EQ(Fams.size(), 5u);
+  const char *Expected[] = {"specjvm98", "fp", "serverloop", "fpkernel",
+                            "ptrchase"};
+  for (size_t I = 0; I != Fams.size(); ++I) {
+    EXPECT_STREQ(Fams[I]->name(), Expected[I]);
+    EXPECT_NE(Fams[I]->description()[0], '\0');
+    EXPECT_GE(Fams[I]->version(), 1u);
+    EXPECT_EQ(findWorkloadFamily(Fams[I]->name()), Fams[I]);
+  }
+  EXPECT_EQ(findWorkloadFamily("no-such-family"), nullptr);
+}
+
+TEST(WorkloadRegistry, UniqueNamesAndSeedsAcrossEveryFamily) {
+  std::set<uint64_t> Seeds;
+  std::set<std::string> Names;
+  size_t Total = 0;
+  for (const WorkloadFamily *F : WorkloadRegistry::instance().families())
+    for (const BenchmarkSpec &S : F->makeBenchmarkSuite()) {
+      ++Total;
+      Seeds.insert(S.Seed);
+      Names.insert(S.Name);
+      EXPECT_EQ(S.Family, F->name()) << S.Name;
+      EXPECT_FALSE(S.Description.empty()) << S.Name;
+      EXPECT_EQ(findBenchmarkSpec(S.Name)->Seed, S.Seed);
+    }
+  // Names and seeds are globally unique, not merely per family.
+  EXPECT_EQ(Seeds.size(), Total);
+  EXPECT_EQ(Names.size(), Total);
+}
+
+TEST(WorkloadRegistry, LoadIsDeterministicForEveryFamily) {
+  for (const WorkloadFamily *F : WorkloadRegistry::instance().families()) {
+    BenchmarkSpec S = F->makeBenchmarkSuite().front();
+    S.NumMethods = 5;
+    Program A = F->load(S);
+    Program B = F->load(S);
+    expectProgramsIdentical(A, B);
+  }
+}
+
+TEST(WorkloadRegistry, ProgramsVerifyForEveryFamily) {
+  for (const WorkloadFamily *F : WorkloadRegistry::instance().families())
+    for (const BenchmarkSpec &S : shrinkSuite(F->makeBenchmarkSuite(), 4)) {
+      Program P = generateWorkloadProgram(S);
+      VerifyResult R = verifyProgram(P);
+      EXPECT_TRUE(R.Ok) << F->name() << "/" << S.Name << ": " << R.Message;
+      EXPECT_EQ(P.getName(), S.Name);
+    }
+}
+
+TEST(WorkloadRegistry, FamilyLessSpecFallsBackToProgramGenerator) {
+  // A hand-built spec with no Family must expand exactly as the
+  // pre-registry ProgramGenerator path did -- and specjvm98's registered
+  // load() is that same path, so the two can never diverge.
+  BenchmarkSpec S = *findBenchmarkSpec("jess");
+  S.NumMethods = 6;
+  BenchmarkSpec Bare = S;
+  Bare.Family.clear();
+  expectProgramsIdentical(generateWorkloadProgram(Bare),
+                          ProgramGenerator(Bare).generate());
+  expectProgramsIdentical(generateWorkloadProgram(S),
+                          findWorkloadFamily("specjvm98")->load(S));
+  EXPECT_EQ(workloadGeneratorVersion(Bare), GeneratorVersion);
+  EXPECT_EQ(workloadGeneratorVersion(S),
+            findWorkloadFamily("specjvm98")->version());
+  BenchmarkSpec Chase =
+      findWorkloadFamily("ptrchase")->makeBenchmarkSuite().front();
+  EXPECT_EQ(workloadGeneratorVersion(Chase),
+            findWorkloadFamily("ptrchase")->version());
 }
 
 TEST(GenerateSuite, OneProgramPerSpecInOrder) {

@@ -20,6 +20,7 @@
 #include "io/TraceStore.h"
 #include "support/CommandLine.h"
 #include "workloads/ProgramGenerator.h"
+#include "workloads/WorkloadFamily.h"
 
 #include <iostream>
 
@@ -40,7 +41,13 @@ inline bool handleVersionOption(const CommandLine &CL, const char *Tool) {
             << "  trace binary format:    " << TraceBinaryMagic
             << " (io/TraceStore.h)\n"
             << "  corpus entry format:    " << CorpusEntryMagic
-            << " (io/CorpusCache.h)\n";
+            << " (io/CorpusCache.h)\n"
+            << "  family versions:       ";
+  // Each family versions its own program synthesis (its half of the
+  // corpus-cache key); a warm-cache mismatch report needs all of them.
+  for (const WorkloadFamily *F : WorkloadRegistry::instance().families())
+    std::cout << ' ' << F->name() << '=' << F->version();
+  std::cout << "   (src/workloads/)\n";
   return true;
 }
 

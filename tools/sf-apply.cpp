@@ -18,6 +18,7 @@
 
 #include "ModelOption.h"
 #include "VersionOption.h"
+#include "WorkloadOption.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
@@ -31,6 +32,7 @@ static void printUsage(std::ostream &OS) {
   OS << "usage: sf-apply --rules RULES.txt --benchmark NAME\n"
         "                [--model ppc7410|ppc970|simple-scalar]"
         " [--hot FRACTION]\n"
+        "       sf-apply --list\n"
         "       sf-apply --help | --version\n";
 }
 
@@ -47,6 +49,10 @@ int main(int argc, char **argv) {
   }
   if (handleVersionOption(CL, "sf-apply"))
     return 0;
+  if (CL.has("list")) {
+    printWorkloadList(std::cout);
+    return 0;
+  }
   std::string RulesPath = CL.get("rules");
   std::string Name = CL.get("benchmark");
   if (RulesPath.empty() || Name.empty())
@@ -54,11 +60,10 @@ int main(int argc, char **argv) {
 
   // Validate every flag before touching any file, so a mistyped knob
   // fails fast regardless of the rules file's state.
-  const BenchmarkSpec *Spec = findBenchmarkSpec(Name);
-  if (!Spec) {
-    std::cerr << "error: unknown benchmark '" << Name << "'\n";
+  std::optional<BenchmarkSelection> Bench = parseBenchmarkOption(CL);
+  if (!Bench)
     return 1;
-  }
+  const BenchmarkSpec *Spec = Bench->Spec;
   std::optional<MachineModel> Model = parseModelOption(CL);
   if (!Model)
     return 1;
@@ -93,7 +98,7 @@ int main(int argc, char **argv) {
   if (!Lint.clean())
     printFindings(Lint, std::cerr, RulesPath, &Rules->RuleLines);
 
-  Program P = ProgramGenerator(*Spec).generate();
+  Program P = generateWorkloadProgram(*Spec);
   ScheduleFilter Filter(Rules->Rules);
 
   CompileReport NS = compileProgramAdaptive(P, *Model,

@@ -41,6 +41,7 @@
 #include "EngineOption.h"
 #include "ModelOption.h"
 #include "VersionOption.h"
+#include "WorkloadOption.h"
 
 #include <fstream>
 #include <iostream>
@@ -56,6 +57,7 @@ void printUsage(std::ostream &OS) {
         "               [--jobs N] [--corpus-dir DIR | --no-cache]\n"
         "       sf-lint --benchmark NAME [--threshold T]"
         " [--fix --out FIXED.txt]\n"
+        "       sf-lint --list\n"
         "       sf-lint --help | --version\n";
 }
 
@@ -74,6 +76,10 @@ int main(int argc, char **argv) {
   }
   if (handleVersionOption(CL, "sf-lint"))
     return 0;
+  if (CL.has("list")) {
+    printWorkloadList(std::cout);
+    return 0;
+  }
 
   if (CL.positional().size() > 1)
     return usage();
@@ -86,15 +92,12 @@ int main(int argc, char **argv) {
     return usage();
   }
 
-  // Validate every flag before touching any file.
-  const BenchmarkSpec *Spec = nullptr;
-  if (!Benchmark.empty()) {
-    Spec = findBenchmarkSpec(Benchmark);
-    if (!Spec) {
-      std::cerr << "error: unknown benchmark '" << Benchmark << "'\n";
-      return 1;
-    }
-  }
+  // Validate every flag before touching any file; benchmark resolution is
+  // the shared registry-backed lookup (any family's benchmark lints).
+  std::optional<BenchmarkSelection> Bench = parseBenchmarkOption(CL);
+  if (!Bench)
+    return 1;
+  const BenchmarkSpec *Spec = Bench->Spec;
   std::optional<MachineModel> Model = parseModelOption(CL);
   if (!Model)
     return 1;

@@ -6,8 +6,11 @@
 // the paper" button; the per-table bench binaries exist for focused runs.
 //
 // Usage:
-//   sf-report [--suite specjvm98|fp] [--model ppc7410|ppc970|simple-scalar]
+//   sf-report [--suite FAMILY] [--model ppc7410|ppc970|simple-scalar]
 //             [--fig4-holdout NAME] [--jobs N] [--corpus-dir DIR | --no-cache]
+//
+// --suite accepts any registered workload family (specjvm98 by default;
+// fp, serverloop, fpkernel, ptrchase, ... -- see sf-serve --list).
 //
 // --jobs N fans the tracing and the threshold sweep out over N workers;
 // the printed numbers are bit-for-bit identical at any N -- and whether
@@ -23,13 +26,14 @@
 #include "EngineOption.h"
 #include "ModelOption.h"
 #include "VersionOption.h"
+#include "WorkloadOption.h"
 
 #include <iostream>
 
 using namespace schedfilter;
 
 static void printUsage(std::ostream &OS) {
-  OS << "usage: sf-report [--suite specjvm98|fp]"
+  OS << "usage: sf-report [--suite FAMILY]"
         " [--model ppc7410|ppc970|simple-scalar]\n"
         "                 [--fig4-holdout NAME] [--jobs N]"
         " [--corpus-dir DIR | --no-cache]\n"
@@ -45,16 +49,13 @@ int main(int argc, char **argv) {
   if (handleVersionOption(CL, "sf-report"))
     return 0;
   std::string SuiteName = CL.get("suite", "specjvm98");
-  std::vector<BenchmarkSpec> Suite;
-  if (SuiteName == "specjvm98")
-    Suite = specjvm98Suite();
-  else if (SuiteName == "fp")
-    Suite = fpSuite();
-  else {
-    std::cerr << "error: unknown suite '" << SuiteName
-              << "' (specjvm98 or fp)\n";
+  const WorkloadFamily *Family = findWorkloadFamily(SuiteName);
+  if (!Family) {
+    std::cerr << "error: unknown suite: got '" << SuiteName
+              << "', known: " << knownFamilyNames() << '\n';
     return 1;
   }
+  std::vector<BenchmarkSpec> Suite = Family->makeBenchmarkSuite();
 
   std::optional<MachineModel> Model = parseModelOption(CL);
   if (!Model)

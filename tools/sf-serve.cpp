@@ -22,6 +22,7 @@
 //            [--sample-every N] [--epoch-len N] [--drain N]
 //            [--filter-eval compiled|interpreter]
 //            [--jobs N] [--corpus-dir DIR | --no-cache]
+//   sf-serve --workload FAMILY[:WEIGHT][,FAMILY[:WEIGHT]...] [...]
 //   sf-serve --list
 //   sf-serve --help | --version
 //
@@ -29,12 +30,22 @@
 // --threshold (default 0) -- the self-training upper bound; the trace
 // comes from the corpus cache when warm.
 //
+// --workload serves the interleaved multi-app stream instead: every
+// benchmark of each named family becomes one app, the family weight is
+// its share of the interleave, and one shared service (one clock, one
+// hotness sampler, one bounded queue) serves them all -- the
+// multi-tenant regime of a server JIT.  Per-app tier residency and
+// recouped work print alongside the aggregate; without --rules the
+// filter self-trains on the mix's own traces.  Output is bit-identical
+// at any --jobs and cache temperature, like the single-app mode.
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/RuleAnalysis.h"
 #include "harness/ParallelExperiments.h"
 #include "ml/Serialization.h"
 #include "runtime/CompileService.h"
+#include "runtime/MultiAppService.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
@@ -44,6 +55,7 @@
 #include "FilterEvalOption.h"
 #include "ModelOption.h"
 #include "VersionOption.h"
+#include "WorkloadOption.h"
 
 #include <fstream>
 #include <iostream>
@@ -61,6 +73,7 @@ void printUsage(std::ostream &OS) {
         "                [--sample-every N] [--epoch-len N] [--drain N]\n"
         "                [--filter-eval compiled|interpreter]\n"
         "                [--jobs N] [--corpus-dir DIR | --no-cache]\n"
+        "       sf-serve --workload FAMILY[:WEIGHT][,...] [...]\n"
         "       sf-serve --list\n"
         "       sf-serve --help | --version\n";
 }
@@ -86,6 +99,156 @@ std::string formatKiloUnits(uint64_t Units) {
   return formatDouble(static_cast<double>(Units) / 1e3, 1) + "k";
 }
 
+/// Resolves --rules when present: parses the file into \p Rules (with the
+/// load-time lint on stderr) and sets \p Loaded.  Returns false after a
+/// printed diagnostic -- bad file, or --threshold given alongside.
+bool loadRulesOption(const CommandLine &CL, RuleSet &Rules, bool &Loaded) {
+  Loaded = false;
+  std::string RulesPath = CL.get("rules");
+  if (RulesPath.empty())
+    return true;
+  if (CL.has("threshold")) {
+    std::cerr << "error: --rules and --threshold are mutually exclusive "
+                 "(the threshold labels the self-training trace)\n";
+    return false;
+  }
+  std::ifstream IS(RulesPath);
+  if (!IS) {
+    std::cerr << "error: cannot open rules '" << RulesPath << "'\n";
+    return false;
+  }
+  ParseResult<RuleSetFile> Parsed = readRuleSetFile(IS);
+  if (!Parsed) {
+    const ParseError &E = Parsed.error();
+    std::cerr << "error: " << RulesPath
+              << (E.Line ? ":" + std::to_string(E.Line) : "") << ": "
+              << E.Message << '\n';
+    return false;
+  }
+  // Load-time lint: a dead or shadowed rule burns serve-path work for
+  // nothing, so say so before the stream starts (stderr; serving
+  // proceeds -- sf-lint --fix normalizes).
+  RuleAnalysis Lint = analyzeRuleSet(Parsed->Rules);
+  if (!Lint.clean())
+    printFindings(Lint, std::cerr, RulesPath, &Parsed->RuleLines);
+  Rules = std::move(Parsed->Rules);
+  Loaded = true;
+  return true;
+}
+
+/// The --workload path: expand the mix into apps, resolve the filter
+/// (--rules or self-trained on the mix's own traces), replay the
+/// interleaved stream under both optimizing-tier policies, and report
+/// per-app and aggregate stats.  Everything on stdout is a pure function
+/// of (mix, model, config) -- same contract as the single-app mode.
+int serveMix(const CommandLine &CL, const WorkloadMix &Mix,
+             const MachineModel &Model, ExperimentEngine &Engine,
+             ServiceConfig Cfg) {
+  std::vector<AppSpec> Apps = expandWorkloadMix(Mix);
+  Cfg.StreamSeed = workloadMixSeed(Apps);
+
+  RuleSet Rules(Label::NS);
+  bool RulesFromFile = false;
+  if (!loadRulesOption(CL, Rules, RulesFromFile))
+    return 1;
+
+  std::vector<Program> Programs;
+  if (RulesFromFile) {
+    Programs = generateMixPrograms(Apps);
+  } else {
+    // Self-train on the whole mix: the factory filter for exactly the
+    // population this service is about to serve.  Reuse the synthesized
+    // programs instead of generating them a second time.
+    double Threshold = 0.0;
+    if (!parseThresholdFlag(CL, Threshold))
+      return 1;
+    std::vector<BenchmarkSpec> Suite;
+    Suite.reserve(Apps.size());
+    for (const AppSpec &A : Apps)
+      Suite.push_back(A.Spec);
+    std::cerr << "training filter on the mix's own traces (t = " << Threshold
+              << "; tracing on cache miss)...\n";
+    std::vector<BenchmarkRun> Runs = Engine.generateSuiteData(Suite, Model);
+    std::vector<Dataset> Labeled = Engine.labelSuite(Runs, Threshold);
+    Dataset Train(formatWorkloadMix(Mix));
+    for (const Dataset &D : Labeled)
+      Train.append(D);
+    Rules = ripperLearner(Engine.pool())(Train);
+    RuleAnalysis Lint = analyzeRuleSet(Rules, &Train);
+    if (!Lint.clean())
+      printFindings(Lint, std::cerr);
+    Programs.reserve(Runs.size());
+    for (BenchmarkRun &Run : Runs)
+      Programs.push_back(std::move(Run.Prog));
+  }
+
+  AccumulatingTimer Wall;
+  Wall.start();
+  MultiAppComparison Cmp =
+      runMultiAppComparison(Apps, Programs, Model, Cfg, Rules, Engine.pool());
+  Wall.stop();
+
+  // --- Deterministic report (stdout). ---
+  const ServiceStats &LS = Cmp.Always.Total;
+  const ServiceStats &LN = Cmp.Filtered.Total;
+  std::cout << "workload mix " << formatWorkloadMix(Mix) << " on "
+            << Model.getName() << ": " << Apps.size() << " apps, "
+            << LS.Invocations << " invocations interleaved,\nsample every "
+            << Cfg.SampleEvery << ", hot threshold " << Cfg.HotThreshold
+            << ", queue cap " << Cfg.QueueCap << ", drain "
+            << Cfg.DrainPerEpoch << "/epoch, epoch " << Cfg.EpochLen << " ("
+            << LS.Epochs << " epochs)\n\n";
+
+  TablePrinter PerApp({"App", "Family", "Invocations", "Optimized inv",
+                       "Methods opt", "LS work", "L/N work", "Recouped"});
+  for (size_t A = 0; A != Apps.size(); ++A) {
+    const ServiceStats &ALS = Cmp.Always.PerApp[A];
+    const ServiceStats &ALN = Cmp.Filtered.PerApp[A];
+    PerApp.addRow({Cmp.Filtered.AppNames[A], Apps[A].Spec.Family,
+                   std::to_string(ALN.Invocations),
+                   std::to_string(ALN.OptimizedInvocations),
+                   std::to_string(ALN.MethodsOptimized) + "/" +
+                       std::to_string(ALN.MethodsTotal),
+                   std::to_string(ALS.SchedulingWork),
+                   std::to_string(ALN.SchedulingWork),
+                   formatPercent(Cmp.PerAppRecoup[A], 1)});
+  }
+  PerApp.print(std::cout);
+
+  std::cout << "\nrecompilation queue (L/N run, shared): max depth "
+            << LN.MaxQueueDepth << ", mean "
+            << formatDouble(LN.MeanQueueDepth, 2) << ", " << LN.Deferred
+            << " deferred (backpressure), " << LN.FinalQueueDepth
+            << " still queued\n\n";
+
+  TablePrinter T({"Opt tier", "Compiled", "Blocks", "Scheduled",
+                  "Work units", "Filter work", "App time vs baseline"});
+  for (const ServiceStats *St : {&LS, &LN})
+    T.addRow({St == &LS ? "LS" : "L/N", std::to_string(St->CompiledMethods),
+              std::to_string(St->BlocksCompiled),
+              std::to_string(St->BlocksScheduled),
+              std::to_string(St->SchedulingWork),
+              std::to_string(St->FilterWork),
+              formatDouble(St->AppTime / St->BaselineAppTime, 4)});
+  T.print(std::cout);
+
+  std::cout << "\nonline filter decisions (optimizing tier): " << LN.FilterLS
+            << " LS, " << LN.FilterNS << " NS\n";
+  std::cout << "recouped scheduling work: "
+            << formatPercent(Cmp.RecoupedWorkFraction, 1) << " (LS "
+            << formatKiloUnits(LS.SchedulingWork) << " units -> L/N "
+            << formatKiloUnits(LN.SchedulingWork) << " units)\n";
+
+  // --- Wall-clock throughput (stderr). ---
+  double Seconds = Wall.seconds();
+  double Served = 2.0 * static_cast<double>(LS.Invocations);
+  std::cerr << "throughput: " << Served << " invocations served in "
+            << formatDouble(Seconds * 1e3, 1) << " ms ("
+            << formatDouble(Seconds > 0.0 ? Served / Seconds / 1e6 : 0.0, 2)
+            << "M inv/s across both runs)\n";
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -97,22 +260,23 @@ int main(int argc, char **argv) {
   if (handleVersionOption(CL, "sf-serve"))
     return 0;
   if (CL.has("list")) {
-    for (const auto &Suite : {specjvm98Suite(), fpSuite()})
-      for (const BenchmarkSpec &S : Suite)
-        std::cout << S.Name << "\t" << S.Description << '\n';
+    printWorkloadList(std::cout);
     return 0;
   }
 
-  std::string Name = CL.get("benchmark");
-  if (Name.empty()) {
+  std::optional<BenchmarkSelection> Bench = parseBenchmarkOption(CL);
+  if (!Bench)
+    return 1;
+  std::optional<WorkloadMix> Mix = parseWorkloadOption(CL);
+  if (!Mix)
+    return 1;
+  if (Bench->Present == !Mix->empty()) {
+    std::cerr << "error: give exactly one of --benchmark or --workload\n";
     printUsage(std::cerr);
     return 1;
   }
-  const BenchmarkSpec *Spec = findBenchmarkSpec(Name);
-  if (!Spec) {
-    std::cerr << "error: unknown benchmark '" << Name << "' (try --list)\n";
-    return 1;
-  }
+  const BenchmarkSpec *Spec = Bench->Spec;
+  std::string Name = Bench->Present ? Spec->Name : std::string();
 
   std::optional<MachineModel> Model = parseModelOption(CL);
   if (!Model)
@@ -146,42 +310,23 @@ int main(int argc, char **argv) {
   Cfg.SampleEvery = static_cast<uint32_t>(*SampleEvery);
   Cfg.EpochLen = static_cast<uint32_t>(*EpochLen);
   Cfg.DrainPerEpoch = static_cast<uint32_t>(*Drain);
+
+  // The interleaved multi-app mode has its own report shape.
+  if (!Mix->empty())
+    return serveMix(CL, *Mix, *Model, Engine, Cfg);
+
   Cfg.StreamSeed = invocationStreamSeed(Spec->Seed);
 
   // The optimizing-tier filter: deserialized from --rules, or self-trained
   // on the benchmark's own trace (corpus-cache-served when warm).  The
   // self-training path already synthesized the program; reuse it instead
   // of generating it a second time.
-  std::string RulesPath = CL.get("rules");
   RuleSet Rules(Label::NS);
+  bool RulesFromFile = false;
+  if (!loadRulesOption(CL, Rules, RulesFromFile))
+    return 1;
   std::optional<Program> P;
-  if (!RulesPath.empty()) {
-    if (CL.has("threshold")) {
-      std::cerr << "error: --rules and --threshold are mutually exclusive "
-                   "(the threshold labels the self-training trace)\n";
-      return 1;
-    }
-    std::ifstream IS(RulesPath);
-    if (!IS) {
-      std::cerr << "error: cannot open rules '" << RulesPath << "'\n";
-      return 1;
-    }
-    ParseResult<RuleSetFile> Parsed = readRuleSetFile(IS);
-    if (!Parsed) {
-      const ParseError &E = Parsed.error();
-      std::cerr << "error: " << RulesPath
-                << (E.Line ? ":" + std::to_string(E.Line) : "") << ": "
-                << E.Message << '\n';
-      return 1;
-    }
-    // Load-time lint: a dead or shadowed rule burns serve-path work for
-    // nothing, so say so before the stream starts (stderr; serving
-    // proceeds -- sf-lint --fix normalizes).
-    RuleAnalysis Lint = analyzeRuleSet(Parsed->Rules);
-    if (!Lint.clean())
-      printFindings(Lint, std::cerr, RulesPath, &Parsed->RuleLines);
-    Rules = std::move(Parsed->Rules);
-  } else {
+  if (!RulesFromFile) {
     double Threshold = 0.0;
     if (!parseThresholdFlag(CL, Threshold))
       return 1;
@@ -197,7 +342,7 @@ int main(int argc, char **argv) {
     P = std::move(Runs[0].Prog);
   }
   if (!P)
-    P = ProgramGenerator(*Spec).generate();
+    P = generateWorkloadProgram(*Spec);
 
   AccumulatingTimer Wall;
   Wall.start();

@@ -14,9 +14,13 @@
 //   sf-trace --benchmark mpegaudio [--model ppc7410|ppc970|simple-scalar]
 //            [--out FILE] [--format csv|binary] [--jobs N]
 //            [--corpus-dir DIR | --no-cache]
+//   sf-trace --workload specjvm98,serverloop [...]
 //   sf-trace --list
 //
 // --format defaults to csv, or binary when --out ends in ".sftb".
+// --workload traces every benchmark of the named families (any registered
+// workload family; see --list) and concatenates the records in suite
+// order -- one trace covering the whole mix, ready for sf-train.
 //
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +31,7 @@
 #include "EngineOption.h"
 #include "ModelOption.h"
 #include "VersionOption.h"
+#include "WorkloadOption.h"
 
 #include <fstream>
 #include <iostream>
@@ -38,6 +43,7 @@ static void printUsage(std::ostream &OS) {
         " [--model ppc7410|ppc970|simple-scalar] [--out FILE]\n"
         "                [--format csv|binary] [--jobs N]"
         " [--corpus-dir DIR | --no-cache]\n"
+        "       sf-trace --workload FAMILY[,FAMILY...] [...]\n"
         "       sf-trace --list\n"
         "       sf-trace --help | --version\n";
 }
@@ -57,21 +63,23 @@ int main(int argc, char **argv) {
     return 0;
 
   if (CL.has("list")) {
-    for (const auto &Suite : {specjvm98Suite(), fpSuite()})
-      for (const BenchmarkSpec &S : Suite)
-        std::cout << S.Name << "\t" << S.Description << '\n';
+    printWorkloadList(std::cout);
     return 0;
   }
 
-  std::string Name = CL.get("benchmark");
-  if (Name.empty())
-    return usage();
-  const BenchmarkSpec *Spec = findBenchmarkSpec(Name);
-  if (!Spec) {
-    std::cerr << "error: unknown benchmark '" << Name
-              << "' (try --list)\n";
+  std::optional<BenchmarkSelection> Bench = parseBenchmarkOption(CL);
+  if (!Bench)
     return 1;
+  std::optional<WorkloadMix> Mix = parseWorkloadOption(CL);
+  if (!Mix)
+    return 1;
+  if (Bench->Present == !Mix->empty()) {
+    std::cerr << "error: give exactly one of --benchmark or --workload\n";
+    return usage();
   }
+  std::vector<BenchmarkSpec> Suite = Bench->Present
+                                         ? std::vector<BenchmarkSpec>{*Bench->Spec}
+                                         : workloadMixSuite(*Mix);
 
   std::optional<MachineModel> Model = parseModelOption(CL);
   if (!Model)
@@ -97,8 +105,14 @@ int main(int argc, char **argv) {
   }
 
   ExperimentEngine &Engine = **Handle;
-  std::vector<BenchmarkRun> Runs = Engine.generateSuiteData({*Spec}, *Model);
-  const std::vector<BlockRecord> &Records = Runs[0].Records;
+  std::vector<BenchmarkRun> Runs = Engine.generateSuiteData(Suite, *Model);
+  std::vector<BlockRecord> Records;
+  for (BenchmarkRun &Run : Runs) {
+    if (Records.empty())
+      Records = std::move(Run.Records);
+    else
+      Records.insert(Records.end(), Run.Records.begin(), Run.Records.end());
+  }
 
   // A trace that was silently cut short by a full disk poisons every
   // downstream training run, so both sinks are flushed and checked.

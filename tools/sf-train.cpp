@@ -7,9 +7,16 @@
 // procedure end to end.
 //
 // Usage:
-//   sf-train TRACE [TRACE2 ...] [--threshold T]
+//   sf-train [TRACE ...] [--workload FAMILY[,FAMILY...]] [--threshold T]
 //            [--learner ripper|tree|oner|stump] [--out RULES.txt]
-//            [--jobs N]
+//            [--model ppc7410|ppc970|simple-scalar]
+//            [--jobs N] [--corpus-dir DIR | --no-cache]
+//
+// Training data comes from trace files, from --workload, or both:
+// --workload traces every benchmark of the named families itself
+// (corpus-cache-served when warm) and appends them after the files, so
+// "sf-train --workload specjvm98,serverloop" is the factory procedure
+// for a mixed deployment with no intermediate trace files.
 //
 // --jobs N reads and labels the traces on N workers and fans the RIPPER
 // grow phase's per-feature candidate scans across the same pool; traces
@@ -28,8 +35,10 @@
 #include "support/CommandLine.h"
 #include "support/TaskPool.h"
 
-#include "JobsOption.h"
+#include "EngineOption.h"
+#include "ModelOption.h"
 #include "VersionOption.h"
+#include "WorkloadOption.h"
 
 #include <fstream>
 #include <iostream>
@@ -37,9 +46,12 @@
 using namespace schedfilter;
 
 static void printUsage(std::ostream &OS) {
-  OS << "usage: sf-train TRACE [TRACE2 ...] [--threshold T]\n"
-        "                [--learner ripper|tree|oner|stump]"
-        " [--out RULES.txt] [--jobs N]\n"
+  OS << "usage: sf-train [TRACE ...] [--workload FAMILY[,FAMILY...]]\n"
+        "                [--threshold T]"
+        " [--learner ripper|tree|oner|stump]\n"
+        "                [--out RULES.txt]"
+        " [--model ppc7410|ppc970|simple-scalar]\n"
+        "                [--jobs N] [--corpus-dir DIR | --no-cache]\n"
         "       sf-train --help | --version\n";
 }
 
@@ -56,7 +68,10 @@ int main(int argc, char **argv) {
   }
   if (handleVersionOption(CL, "sf-train"))
     return 0;
-  if (CL.positional().empty())
+  std::optional<WorkloadMix> Mix = parseWorkloadOption(CL);
+  if (!Mix)
+    return 1;
+  if (CL.positional().empty() && Mix->empty())
     return usage();
 
   std::optional<double> Threshold = CL.getDouble("threshold", 0.0);
@@ -68,9 +83,14 @@ int main(int argc, char **argv) {
     return 1;
   }
   std::string LearnerName = CL.get("learner", "ripper");
-  std::optional<unsigned> Jobs = parseJobsOption(CL);
-  if (!Jobs)
+  std::optional<MachineModel> Model = parseModelOption(CL);
+  if (!Model)
     return 1;
+  std::optional<EngineHandle> Handle = parseEngineOptions(CL);
+  if (!Handle)
+    return 1;
+  ExperimentEngine &Engine = **Handle;
+  TaskPool &Pool = Engine.pool();
 
   // Read and label each trace on the pool; merge in command-line order so
   // the training set (and thus the filter) is identical at any job count.
@@ -78,7 +98,6 @@ int main(int argc, char **argv) {
   std::vector<Dataset> Labeled(Paths.size());
   std::vector<size_t> BlockCounts(Paths.size(), 0);
   std::vector<std::string> Errors(Paths.size());
-  TaskPool Pool(*Jobs);
   Pool.parallelFor(Paths.size(), [&](size_t I) {
     ParseResult<std::vector<BlockRecord>> Records = readTraceFile(Paths[I]);
     if (!Records) {
@@ -101,6 +120,21 @@ int main(int argc, char **argv) {
     }
     TotalBlocks += BlockCounts[I];
     Train.append(Labeled[I]);
+  }
+
+  // --workload sources: trace (or cache-load) every benchmark of each
+  // named family and append in suite order, after the file traces.
+  if (!Mix->empty()) {
+    std::vector<BenchmarkSpec> Suite = workloadMixSuite(*Mix);
+    std::cerr << "tracing " << Suite.size() << " benchmarks from --workload "
+              << formatWorkloadMix(*Mix)
+              << " (cache-served when warm)...\n";
+    std::vector<BenchmarkRun> Runs = Engine.generateSuiteData(Suite, *Model);
+    std::vector<Dataset> FromMix = Engine.labelSuite(Runs, *Threshold);
+    for (size_t I = 0; I != Runs.size(); ++I) {
+      TotalBlocks += Runs[I].Records.size();
+      Train.append(FromMix[I]);
+    }
   }
 
   std::cerr << "labeled " << Train.size() << " of " << TotalBlocks
