@@ -11,22 +11,23 @@
 //   drop      - the paper's method: no training instance at all;
 //   label-NS  - keep the block, call it NS ("not worth it");
 //   label-LS  - keep the block, call it LS (any improvement counts).
-// Each variant trains with LOOCV on SPECjvm98 and is measured on effort
-// and retained benefit.  The paper's claim to verify: "drop" dominates
-// "label-LS" on efficiency while matching (or beating) both on the
-// effort/benefit frontier.
+// Each variant is one configuration of the noise layer: a band-filling
+// label source appended to the (optionally --noise-corrupted) stack, run
+// through the same perturb/label/LOOCV/price pipeline as the robustness
+// ladder (noise/Robustness.h).  The paper's claim to verify: "drop"
+// dominates "label-LS" on efficiency while matching (or beating) both on
+// the effort/benefit frontier.
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/ParallelExperiments.h"
-#include "ml/Metrics.h"
-#include "ml/Ripper.h"
+#include "noise/Robustness.h"
+#include "support/CommandLine.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
-#include "support/CommandLine.h"
 
 #include "EngineOption.h"
+#include "NoiseOption.h"
 #include "WorkloadOption.h"
 
 #include <iostream>
@@ -35,31 +36,28 @@ using namespace schedfilter;
 
 namespace {
 
-enum class BandHandling { Drop, LabelNS, LabelLS };
+/// The band-handling variants as a label-boundary noise source: records
+/// the threshold rule dropped get \p Fill instead.  Appended after any
+/// --noise sources, so it sees the verdicts they already transformed.
+class BandFill final : public NoiseSource {
+public:
+  explicit BandFill(Label Fill) : Fill(Fill) {}
 
-Dataset labelVariant(const BenchmarkRun &Run, double T, BandHandling H) {
-  Dataset D(Run.Name);
-  for (const BlockRecord &Rec : Run.Records) {
-    double Benefit = schedulingBenefitPercent(Rec);
-    if (Benefit > T) {
-      D.add({Rec.X, Label::LS});
-    } else if (Benefit <= 0.0) {
-      D.add({Rec.X, Label::NS});
-    } else {
-      switch (H) {
-      case BandHandling::Drop:
-        break;
-      case BandHandling::LabelNS:
-        D.add({Rec.X, Label::NS});
-        break;
-      case BandHandling::LabelLS:
-        D.add({Rec.X, Label::LS});
-        break;
-      }
-    }
+  const char *name() const override { return "band-fill"; }
+  uint32_t version() const override { return 1; }
+  std::string describe() const override {
+    return std::string("band-fill:") + getLabelName(Fill);
   }
-  return D;
-}
+
+  std::optional<Label> perturbLabel(std::optional<Label> L,
+                                    const BlockRecord &, size_t,
+                                    const Rng &) const override {
+    return L ? L : std::optional<Label>(Fill);
+  }
+
+private:
+  Label Fill;
+};
 
 } // namespace
 
@@ -70,8 +68,15 @@ int main(int argc, char **argv) {
     return 1;
   ExperimentEngine &Engine = **Handle;
 
+  // Validate the shared --noise surface once up front; per variant the
+  // spec is re-parsed so each stack owns its sources.
+  std::optional<NoiseStack> Probe = parseNoiseOption(CL);
+  if (!Probe)
+    return 1;
+  const std::string NoiseSpec = CL.get("noise");
+  const uint64_t NoiseSeed = Probe->seed();
+
   const double T = 20.0;
-  MachineModel Model = MachineModel::ppc7410();
   // --suite picks any registered workload family (default specjvm98, the
   // paper's population); the ablation itself is family-agnostic.
   std::string SuiteName = CL.get("suite", "specjvm98");
@@ -81,57 +86,39 @@ int main(int argc, char **argv) {
               << "', known: " << knownFamilyNames() << '\n';
     return 1;
   }
-  std::vector<BenchmarkRun> Suite =
-      Engine.generateSuiteData(Family->makeBenchmarkSuite(), Model);
+  std::vector<BenchmarkRun> Suite = Engine.generateSuiteData(
+      Family->makeBenchmarkSuite(), MachineModel::ppc7410());
 
   std::cout << "Noise-filtering ablation at t = " << T << " ("
-            << (SuiteName == "specjvm98" ? "SPECjvm98" : SuiteName)
-            << " geometric means, LOOCV)\n\n";
+            << Family->displayName() << " geometric means, LOOCV"
+            << (NoiseSpec.empty() ? "" : "; noise " + Probe->describe())
+            << ")\n\n";
   TablePrinter Table({"Band handling", "Train size", "Runtime LS share",
                       "Effort vs LS", "App time vs NS",
                       "LS benefit retained"});
 
-  const std::pair<const char *, BandHandling> Variants[] = {
-      {"drop (paper)", BandHandling::Drop},
-      {"label as NS", BandHandling::LabelNS},
-      {"label as LS", BandHandling::LabelLS},
+  const std::pair<const char *, std::optional<Label>> Variants[] = {
+      {"drop (paper)", std::nullopt},
+      {"label as NS", Label::NS},
+      {"label as LS", Label::LS},
   };
 
-  for (const auto &[Name, Handling] : Variants) {
-    std::vector<Dataset> Labeled;
-    size_t TrainSize = 0;
-    for (const BenchmarkRun &Run : Suite) {
-      Labeled.push_back(labelVariant(Run, T, Handling));
-      TrainSize += Labeled.back().size();
+  for (const auto &[Name, Fill] : Variants) {
+    ParseResult<NoiseStack> Stack = parseNoiseStack(NoiseSpec, NoiseSeed);
+    if (!Stack) { // validated above; re-parse cannot fail
+      std::cerr << "error: --noise: " << Stack.error().Message << '\n';
+      return 1;
     }
-    std::vector<LoocvFold> Folds =
-        leaveOneOut(Labeled, ripperLearner(), Engine.pool());
-
-    std::vector<double> Effort, AppLN, AppLS;
-    size_t RtLS = 0, RtAll = 0;
-    for (size_t B = 0; B != Suite.size(); ++B) {
-      const BenchmarkRun &Run = Suite[B];
-      ScheduleFilter F(Folds[B].Filter);
-      CompileReport LN = compileProgram(Run.Prog, Model,
-                                        SchedulingPolicy::Filtered, &F);
-      Effort.push_back(
-          safeRatio(static_cast<double>(LN.SchedulingWork),
-                    static_cast<double>(Run.AlwaysReport.SchedulingWork)));
-      AppLN.push_back(LN.SimulatedTime / Run.NeverReport.SimulatedTime);
-      AppLS.push_back(Run.AlwaysReport.SimulatedTime /
-                      Run.NeverReport.SimulatedTime);
-      RtLS += LN.NumScheduled;
-      RtAll += LN.NumBlocks;
-    }
-    double LS = geometricMean(AppLS);
-    double LN = geometricMean(AppLN);
+    if (Fill)
+      Stack->add(std::make_unique<BandFill>(*Fill));
+    RobustnessPoint P = runRobustnessPoint(Engine, Suite, *Stack, T);
     Table.addRow(
-        {Name, std::to_string(TrainSize),
-         formatPercent(static_cast<double>(RtLS) /
-                           static_cast<double>(RtAll),
+        {Name, std::to_string(P.TrainLS + P.TrainNS),
+         formatPercent(safeRatio(static_cast<double>(P.RuntimeLS),
+                                 static_cast<double>(P.RuntimeBlocks)),
                        1),
-         formatPercent(geometricMean(Effort), 1), formatDouble(LN, 4),
-         formatDouble(100.0 * (1.0 - LN) / (1.0 - LS), 1) + "%"});
+         formatPercent(P.EffortRatio, 1), formatDouble(P.AppTimeLN, 4),
+         formatDouble(100.0 * P.Retention, 1) + "%"});
   }
   Table.print(std::cout);
 

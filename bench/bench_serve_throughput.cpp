@@ -99,7 +99,8 @@ int main(int argc, char **argv) {
 
   std::cout << "CompileService regime: invocation streams served under LS "
                "vs L/N optimizing tiers\n("
-            << (Mix->empty() ? "SPECjvm98" : formatWorkloadMix(*Mix))
+            << (Mix->empty() ? familyDisplayName("specjvm98")
+                             : formatWorkloadMix(*Mix))
             << "; t = 0 LOOCV filters; default service config; "
             << getFilterEvalName(Primary) << " filter evaluator)\n\n";
   TablePrinter T({"Benchmark", "Promoted", "Deferred", "Max queue",

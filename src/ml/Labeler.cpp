@@ -32,3 +32,18 @@ Dataset schedfilter::buildDataset(const std::vector<BlockRecord> &Records,
       D.add({R.X, *L});
   return D;
 }
+
+Dataset schedfilter::buildDataset(const std::vector<BlockRecord> &Records,
+                                  double ThresholdPct, const std::string &Name,
+                                  const LabelTransform &Transform) {
+  if (!Transform)
+    return buildDataset(Records, ThresholdPct, Name);
+  Dataset D(Name);
+  for (size_t I = 0; I != Records.size(); ++I) {
+    const BlockRecord &R = Records[I];
+    if (std::optional<Label> L =
+            Transform(labelWithThreshold(R, ThresholdPct), R, I))
+      D.add({R.X, *L});
+  }
+  return D;
+}

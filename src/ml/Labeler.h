@@ -15,6 +15,7 @@
 
 #include "ml/Dataset.h"
 
+#include <functional>
 #include <optional>
 
 namespace schedfilter {
@@ -43,6 +44,20 @@ std::optional<Label> labelWithThreshold(const BlockRecord &R,
 /// the (0, t] band, and returns the resulting dataset named \p Name.
 Dataset buildDataset(const std::vector<BlockRecord> &Records,
                      double ThresholdPct, const std::string &Name);
+
+/// Post-threshold transform of one record's verdict (nullopt = no
+/// training instance): label-noise sources and band-handling ablations
+/// plug in here, downstream of the threshold rule and upstream of
+/// Dataset assembly.  \p RecordIndex is the record's index in its run's
+/// trace, the key deterministic noise forks per-record streams from.
+using LabelTransform = std::function<std::optional<Label>(
+    std::optional<Label> L, const BlockRecord &Rec, size_t RecordIndex)>;
+
+/// buildDataset with \p Transform applied to every record's threshold
+/// verdict.  A null transform is the plain overload.
+Dataset buildDataset(const std::vector<BlockRecord> &Records,
+                     double ThresholdPct, const std::string &Name,
+                     const LabelTransform &Transform);
 
 } // namespace schedfilter
 

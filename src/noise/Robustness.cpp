@@ -1,0 +1,94 @@
+//===- noise/Robustness.cpp - Severity ladder + frontier evaluation -------===//
+
+#include "noise/Robustness.h"
+
+#include "support/Statistics.h"
+#include "target/MachineModel.h"
+
+#include <cassert>
+
+using namespace schedfilter;
+
+namespace {
+
+/// The built-in ladder.  Each rung keeps every corruption of the one
+/// below at an equal-or-higher parameter, so severity is ordered by
+/// construction.  Parameters were tuned on the registered families so
+/// the win margin crosses zero inside the ladder: the filter still beats
+/// always-schedule around the middle rungs and loses by the top.
+const char *const LevelSpecs[] = {
+    /*L0*/ "",
+    /*L1*/ "jitter:0.1,spikes:0.05",
+    /*L2*/ "jitter:0.2,spikes:0.1,labelflip:0.1",
+    /*L3*/ "jitter:0.3,spikes:0.15,labelflip:0.25,mistune:ppc970",
+    /*L4*/ "jitter:0.4,spikes:0.2,labelflip:0.4,mistune:ppc970",
+};
+
+} // namespace
+
+unsigned schedfilter::numRobustnessLevels() {
+  return sizeof(LevelSpecs) / sizeof(LevelSpecs[0]);
+}
+
+const char *schedfilter::robustnessLevelSpec(unsigned Level) {
+  assert(Level < numRobustnessLevels() && "no such ladder rung");
+  return LevelSpecs[Level];
+}
+
+NoiseStack schedfilter::robustnessStack(unsigned Level, uint64_t Seed) {
+  ParseResult<NoiseStack> S = parseNoiseStack(robustnessLevelSpec(Level), Seed);
+  assert(S && "ladder specs are known-valid");
+  return std::move(*S);
+}
+
+RobustnessPoint schedfilter::runRobustnessPoint(ExperimentEngine &Engine,
+                                                std::vector<BenchmarkRun> Suite,
+                                                const NoiseStack &Stack,
+                                                double ThresholdPct) {
+  TaskPool &Pool = Engine.pool();
+  Stack.perturbSuite(Suite, Pool);
+
+  std::vector<Dataset> Labeled = Stack.labelSuite(Suite, ThresholdPct, Pool);
+  std::vector<LoocvFold> Folds = leaveOneOut(Labeled, ripperLearner(), Pool);
+
+  RobustnessPoint P;
+  P.Stack = Stack.describe();
+  for (const Dataset &D : Labeled) {
+    P.TrainLS += D.countLabel(Label::LS);
+    P.TrainNS += D.countLabel(Label::NS);
+  }
+
+  // Price every held-out filter under the run's own model -- after a
+  // mistune source this is the serve model, matching the recomputed
+  // fixed-policy reports.
+  std::vector<double> Effort(Suite.size()), AppLN(Suite.size()),
+      AppLS(Suite.size());
+  std::vector<uint64_t> Scheduled(Suite.size()), Blocks(Suite.size());
+  Pool.parallelFor(Suite.size(), [&](size_t B) {
+    const BenchmarkRun &Run = Suite[B];
+    std::optional<MachineModel> Model = MachineModel::byName(Run.ModelName);
+    assert(Model && "BenchmarkRun carries a registered model name");
+    ScheduleFilter F(Folds[B].Filter);
+    CompileReport LN =
+        compileProgram(Run.Prog, *Model, SchedulingPolicy::Filtered, &F);
+    Effort[B] =
+        safeRatio(static_cast<double>(LN.SchedulingWork),
+                  static_cast<double>(Run.AlwaysReport.SchedulingWork));
+    AppLN[B] = LN.SimulatedTime / Run.NeverReport.SimulatedTime;
+    AppLS[B] =
+        Run.AlwaysReport.SimulatedTime / Run.NeverReport.SimulatedTime;
+    Scheduled[B] = LN.NumScheduled;
+    Blocks[B] = LN.NumBlocks;
+  });
+  for (size_t B = 0; B != Suite.size(); ++B) {
+    P.RuntimeLS += Scheduled[B];
+    P.RuntimeBlocks += Blocks[B];
+  }
+
+  P.EffortRatio = geometricMean(Effort);
+  P.AppTimeLN = geometricMean(AppLN);
+  P.AppTimeLS = geometricMean(AppLS);
+  P.Retention = safeRatio(1.0 - P.AppTimeLN, 1.0 - P.AppTimeLS);
+  P.WinMargin = P.Retention - P.EffortRatio;
+  return P;
+}

@@ -167,14 +167,31 @@ MultiAppStats MultiAppService::run() {
   std::vector<CompileOutcome> Outcomes;
   double QueueDepthSum = 0.0;
 
+  // The interleave CDF of the current epoch.  Without drift this IS the
+  // static mix; with drift it is rebuilt (serially, per epoch) from the
+  // pure per-epoch factors, so the drifting stream replays identically
+  // at any job count.
+  std::vector<double> EpochCum = AppCumWeight;
+  double EpochTotal = TotalAppWeight;
+  uint64_t EpochIndex = 0;
+
   for (uint64_t Tick = 0; Tick < Cfg.Invocations;) {
+    if (MixDrift) {
+      EpochTotal = 0.0;
+      for (size_t A = 0; A != Apps.size(); ++A) {
+        EpochTotal += Apps[A].Weight * MixDrift(EpochIndex, A);
+        EpochCum[A] = EpochTotal;
+      }
+      assert(EpochTotal > 0.0 && "drift factors must stay positive");
+    }
+    ++EpochIndex;
     uint64_t EpochEnd = std::min(Tick + Cfg.EpochLen, Cfg.Invocations);
     for (; Tick != EpochEnd; ++Tick) {
       // Whose tick is it?  One uniform draw on the interleave CDF.
-      double U = Interleave.uniform() * TotalAppWeight;
+      double U = Interleave.uniform() * EpochTotal;
       size_t A = static_cast<size_t>(
-          std::upper_bound(AppCumWeight.begin(), AppCumWeight.end(), U) -
-          AppCumWeight.begin());
+          std::upper_bound(EpochCum.begin(), EpochCum.end(), U) -
+          EpochCum.begin());
       A = std::min(A, Apps.size() - 1);
       if (TotalWeight[A] <= 0.0)
         continue; // degenerate app (empty program); tick still elapses
@@ -293,17 +310,19 @@ MultiAppStats MultiAppService::run() {
 MultiAppComparison schedfilter::runMultiAppComparison(
     const std::vector<AppSpec> &Apps, const std::vector<Program> &Programs,
     const MachineModel &Model, ServiceConfig Cfg, const RuleSet &Rules,
-    TaskPool &Pool) {
+    TaskPool &Pool, const std::function<double(uint64_t, size_t)> &MixDrift) {
   MultiAppComparison Cmp;
 
   Cfg.OptimizingPolicy = SchedulingPolicy::Always;
   MultiAppService Always(Apps, Programs, Model, Cfg, nullptr, Pool);
+  Always.setMixDrift(MixDrift);
   Cmp.Always = Always.run();
 
   Cfg.OptimizingPolicy = SchedulingPolicy::Filtered;
-  Cmp.Filtered = MultiAppService(Apps, Programs, Model, Cfg, &Rules, Pool,
-                                 &Always.baselineCosts())
-                     .run();
+  MultiAppService Filtered(Apps, Programs, Model, Cfg, &Rules, Pool,
+                           &Always.baselineCosts());
+  Filtered.setMixDrift(MixDrift);
+  Cmp.Filtered = Filtered.run();
 
   auto Recoup = [](const ServiceStats &LS, const ServiceStats &LN) {
     if (!LS.SchedulingWork)

@@ -30,6 +30,8 @@
 #include "runtime/CompileService.h"
 #include "workloads/WorkloadFamily.h"
 
+#include <functional>
+
 namespace schedfilter {
 
 /// One tenant of the mixed stream: a family benchmark plus its share of
@@ -92,6 +94,18 @@ public:
                   const RuleSet *Rules, TaskPool &Pool,
                   const std::vector<double> *SharedBaselineCost = nullptr);
 
+  /// Installs a workload-mix drift function: during epoch E, app A's
+  /// interleave weight is Apps[A].Weight * Drift(E, A).  The function
+  /// must return positive factors and be pure (the noise layer's
+  /// composed mixDrift() is -- a pure function of (stack seed, epoch,
+  /// app)), so the drifting stream stays bit-identical at any --jobs.
+  /// Null restores the static mix, and a null drift takes exactly the
+  /// pre-drift code path: which app owns tick T is unchanged, because
+  /// the per-app substreams never see the interleave weights at all.
+  void setMixDrift(std::function<double(uint64_t Epoch, size_t App)> Drift) {
+    MixDrift = std::move(Drift);
+  }
+
   /// Replays the whole interleaved stream and returns per-app + total
   /// stats.
   MultiAppStats run();
@@ -111,6 +125,8 @@ private:
   /// App-interleave CDF over AppSpec weights.
   std::vector<double> AppCumWeight;
   double TotalAppWeight = 0.0;
+  /// Optional per-epoch reweighting of the interleave (see setMixDrift).
+  std::function<double(uint64_t, size_t)> MixDrift;
   /// Per-app method-draw CDFs (profile weights, as in CompileService).
   std::vector<std::vector<double>> CumWeight;
   std::vector<double> TotalWeight;
@@ -132,11 +148,14 @@ struct MultiAppComparison {
   std::vector<double> PerAppRecoup; ///< same convention, per app
 };
 
-MultiAppComparison runMultiAppComparison(const std::vector<AppSpec> &Apps,
-                                         const std::vector<Program> &Programs,
-                                         const MachineModel &Model,
-                                         ServiceConfig Cfg,
-                                         const RuleSet &Rules, TaskPool &Pool);
+/// \p MixDrift, when non-null, is installed on BOTH services (see
+/// MultiAppService::setMixDrift), so the two policies face the same
+/// drifting traffic.
+MultiAppComparison runMultiAppComparison(
+    const std::vector<AppSpec> &Apps, const std::vector<Program> &Programs,
+    const MachineModel &Model, ServiceConfig Cfg, const RuleSet &Rules,
+    TaskPool &Pool,
+    const std::function<double(uint64_t, size_t)> &MixDrift = nullptr);
 
 } // namespace schedfilter
 

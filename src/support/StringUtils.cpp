@@ -27,3 +27,9 @@ std::string schedfilter::padRight(const std::string &S, size_t Width) {
 std::string schedfilter::formatPercent(double Fraction, int Decimals) {
   return formatDouble(Fraction * 100.0, Decimals) + "%";
 }
+
+std::string schedfilter::formatTrimmed(double Value) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+  return std::string(Buf);
+}

@@ -26,6 +26,11 @@ std::string padRight(const std::string &S, size_t Width);
 /// Formats a fraction as a percent string, e.g. 0.379 -> "37.9%".
 std::string formatPercent(double Fraction, int Decimals = 1);
 
+/// Formats \p Value with up to six significant digits and no trailing
+/// zeros, e.g. 0.1 -> "0.1", 2 -> "2".  Used for canonical parameter
+/// spellings that must round-trip through strtod.
+std::string formatTrimmed(double Value);
+
 } // namespace schedfilter
 
 #endif // SCHEDFILTER_SUPPORT_STRINGUTILS_H

@@ -34,11 +34,12 @@ namespace {
 /// registration alone invalidates nothing.
 class GeneratorFamily : public WorkloadFamily {
 public:
-  GeneratorFamily(const char *Name, const char *Desc,
+  GeneratorFamily(const char *Name, const char *Display, const char *Desc,
                   std::vector<BenchmarkSpec> (*Suite)())
-      : FamilyName(Name), Desc(Desc), Suite(Suite) {}
+      : FamilyName(Name), Display(Display), Desc(Desc), Suite(Suite) {}
 
   const char *name() const override { return FamilyName; }
+  const char *displayName() const override { return Display; }
   const char *description() const override { return Desc; }
   uint32_t version() const override { return GeneratorVersion; }
   std::vector<BenchmarkSpec> makeBenchmarkSuite() const override {
@@ -50,6 +51,7 @@ public:
 
 private:
   const char *FamilyName;
+  const char *Display;
   const char *Desc;
   std::vector<BenchmarkSpec> (*Suite)();
 };
@@ -58,11 +60,11 @@ void registerBuiltinFamilies(WorkloadRegistry &R) {
   // Registration order is the presentation order of --list and every
   // "known: ..." diagnostic; the two paper suites stay first.
   R.registerFamily(std::make_unique<GeneratorFamily>(
-      "specjvm98", "synthetic SPECjvm98 stand-ins (paper Tables 1-7)",
-      specjvm98Suite));
+      "specjvm98", "SPECjvm98",
+      "synthetic SPECjvm98 stand-ins (paper Tables 1-7)", specjvm98Suite));
   R.registerFamily(std::make_unique<GeneratorFamily>(
-      "fp", "floating-point-heavy companions (paper SPECjvm98 FP mix)",
-      fpSuite));
+      "fp", "FP suite",
+      "floating-point-heavy companions (paper SPECjvm98 FP mix)", fpSuite));
   R.registerFamily(makeServerLoopFamily());
   R.registerFamily(makeFpKernelFamily());
   R.registerFamily(makePtrChaseFamily());
@@ -97,6 +99,12 @@ const WorkloadFamily *WorkloadRegistry::find(const std::string &Name) const {
 
 const WorkloadFamily *schedfilter::findWorkloadFamily(const std::string &Name) {
   return WorkloadRegistry::instance().find(Name);
+}
+
+std::string schedfilter::familyDisplayName(const std::string &Name) {
+  if (const WorkloadFamily *F = findWorkloadFamily(Name))
+    return F->displayName();
+  return Name;
 }
 
 Program schedfilter::generateWorkloadProgram(const BenchmarkSpec &Spec) {

@@ -48,6 +48,13 @@ public:
   /// One-line description for --list style output.
   virtual const char *description() const = 0;
 
+  /// Short human-readable suite title for report headers, e.g.
+  /// "SPECjvm98".  Defaults to name(); families whose registry key is
+  /// not the publishable spelling override it.  Benches print suites
+  /// through this accessor (via familyDisplayName) instead of
+  /// hand-mapping registry keys.
+  virtual const char *displayName() const { return name(); }
+
   /// Version of this family's program synthesis, the generator half of
   /// the corpus-cache key for this family's benchmarks.  MUST be bumped
   /// by any change that alters what load() emits for some spec; bumping
@@ -107,6 +114,10 @@ private:
 
 /// Convenience: WorkloadRegistry::instance().find(Name).
 const WorkloadFamily *findWorkloadFamily(const std::string &Name);
+
+/// displayName() of the registered family \p Name, or \p Name itself
+/// when unregistered.
+std::string familyDisplayName(const std::string &Name);
 
 /// Expands \p Spec through its family's load().  Specs without a Family
 /// (hand-built test specs, pre-registry callers) fall back to the

@@ -2,6 +2,8 @@
 
 #include "ml/Labeler.h"
 
+#include "support/Rng.h"
+
 #include <gtest/gtest.h>
 
 using namespace schedfilter;
@@ -84,4 +86,106 @@ TEST(Labeler, FeaturesCarriedThrough) {
   ASSERT_EQ(D.size(), 1u);
   EXPECT_EQ(D[0].X[FeatBBLen], 42.0);
   EXPECT_EQ(D[0].Y, Label::LS);
+}
+
+TEST(Labeler, ZeroCostBlocksAreAlwaysNs) {
+  // A zero-cost block has benefit defined as 0, so it is NS at every
+  // threshold -- never dropped, never divided by zero.
+  for (double T : {0.0, 20.0, 50.0}) {
+    EXPECT_EQ(labelWithThreshold(record(0, 0), T), Label::NS);
+    // Even a nonsense trace (scheduled cost without unscheduled cost)
+    // falls back to the benefit-0 rule instead of misbehaving.
+    EXPECT_EQ(labelWithThreshold(record(0, 7), T), Label::NS);
+  }
+}
+
+TEST(Labeler, ExecCountDoesNotAffectLabeling) {
+  // The threshold rule is per-block, not profile-weighted (the paper
+  // labels each block once however hot it is); ExecCount matters to
+  // evaluation, never to the label.
+  for (uint64_t Exec : {uint64_t(1), uint64_t(1000), uint64_t(1) << 40}) {
+    BlockRecord LS = record(100, 70), Band = record(100, 90),
+                NS = record(100, 120);
+    LS.ExecCount = Band.ExecCount = NS.ExecCount = Exec;
+    EXPECT_EQ(labelWithThreshold(LS, 20.0), Label::LS);
+    EXPECT_EQ(labelWithThreshold(Band, 20.0), std::nullopt);
+    EXPECT_EQ(labelWithThreshold(NS, 20.0), Label::NS);
+    Dataset D = buildDataset({LS, Band, NS}, 20.0, "x");
+    EXPECT_EQ(D.size(), 2u);
+    EXPECT_EQ(D.countLabel(Label::LS), 1u);
+  }
+}
+
+TEST(Labeler, BuildDatasetAgreesWithLabelWithThresholdOnRandomRecords) {
+  // buildDataset must be exactly "labelWithThreshold per record, drops
+  // skipped, order preserved" -- checked on a seeded random trace across
+  // several thresholds.
+  Rng R(0xabcdef);
+  std::vector<BlockRecord> Records;
+  for (size_t I = 0; I != 500; ++I) {
+    BlockRecord Rec = record(R.below(200), R.below(200));
+    Rec.X[FeatBBLen] = static_cast<double>(I); // tag to verify order
+    Records.push_back(Rec);
+  }
+  for (double T : {0.0, 5.0, 20.0, 75.0}) {
+    Dataset D = buildDataset(Records, T, "rand");
+    size_t Kept = 0;
+    for (size_t I = 0; I != Records.size(); ++I) {
+      std::optional<Label> L = labelWithThreshold(Records[I], T);
+      if (!L)
+        continue;
+      ASSERT_LT(Kept, D.size());
+      EXPECT_EQ(D[Kept].Y, *L) << "record " << I << " at t=" << T;
+      EXPECT_EQ(D[Kept].X[FeatBBLen], static_cast<double>(I));
+      ++Kept;
+    }
+    EXPECT_EQ(D.size(), Kept);
+  }
+}
+
+TEST(Labeler, NullTransformIsThePlainOverload) {
+  std::vector<BlockRecord> Records = {record(100, 70), record(100, 90),
+                                      record(100, 120)};
+  Dataset Plain = buildDataset(Records, 20.0, "x");
+  Dataset Null = buildDataset(Records, 20.0, "x", LabelTransform());
+  ASSERT_EQ(Null.size(), Plain.size());
+  for (size_t I = 0; I != Plain.size(); ++I) {
+    EXPECT_EQ(Null[I].X, Plain[I].X);
+    EXPECT_EQ(Null[I].Y, Plain[I].Y);
+  }
+}
+
+TEST(Labeler, TransformSeesVerdictRecordAndIndex) {
+  // The hook contract of the noise layer: the transform receives the
+  // threshold rule's verdict, the raw record, and the record's trace
+  // index (the key per-record noise streams fork from), and its return
+  // decides the instance.
+  std::vector<BlockRecord> Records = {record(100, 70),   // LS
+                                      record(100, 90),   // dropped at t=20
+                                      record(100, 120)}; // NS
+  std::vector<size_t> SeenIndices;
+  std::vector<std::optional<Label>> SeenVerdicts;
+  Dataset D = buildDataset(
+      Records, 20.0, "x",
+      [&](std::optional<Label> L, const BlockRecord &Rec, size_t I) {
+        SeenIndices.push_back(I);
+        SeenVerdicts.push_back(L);
+        EXPECT_EQ(Rec.CostNoSched, 100u);
+        // Resurrect the band as LS, drop true NS: both directions of
+        // the transform exercised at once.
+        if (!L)
+          return std::optional<Label>(Label::LS);
+        if (*L == Label::NS)
+          return std::optional<Label>();
+        return L;
+      });
+  EXPECT_EQ(SeenIndices, (std::vector<size_t>{0, 1, 2}));
+  ASSERT_EQ(SeenVerdicts.size(), 3u);
+  EXPECT_EQ(SeenVerdicts[0], Label::LS);
+  EXPECT_EQ(SeenVerdicts[1], std::nullopt);
+  EXPECT_EQ(SeenVerdicts[2], Label::NS);
+  ASSERT_EQ(D.size(), 2u);
+  EXPECT_EQ(D[0].Y, Label::LS);
+  EXPECT_EQ(D[1].Y, Label::LS); // the resurrected band record
+  EXPECT_EQ(D.countLabel(Label::NS), 0u);
 }

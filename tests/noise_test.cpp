@@ -1,0 +1,455 @@
+//===- tests/noise_test.cpp - noise/ unit + determinism + golden tests ------===//
+//
+// The noise layer's contract, pinned: every source is a pure function of
+// (stack seed, source index, run index, record index), so any stack is
+// bit-reproducible at any job count; composition order is semantic; the
+// empty stack is the identity; and each source's distribution matches
+// its documented shape at a fixed seed.  The Golden tests pin the
+// robustness frontier's headline on the full SPECjvm98 stand-in suite --
+// a rung where the induced filter still beats always-schedule and a rung
+// where it loses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "noise/Robustness.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace schedfilter;
+
+namespace {
+
+/// The tools' default --noise-seed (tools/NoiseOption.h): the paper's
+/// conference date.  Golden pins below must match bench_robustness run
+/// with no flags, so the seed is repeated here literally.
+constexpr uint64_t GoldenSeed = 20040609;
+
+BlockRecord record(uint64_t CostNo, uint64_t CostSched,
+                   uint64_t ExecCount = 1) {
+  BlockRecord R;
+  R.CostNoSched = CostNo;
+  R.CostSched = CostSched;
+  R.ExecCount = ExecCount;
+  return R;
+}
+
+/// A synthetic run of \p N records with varied positive costs (plus one
+/// zero-cost record) -- enough structure for perturbation tests without
+/// generating programs.
+BenchmarkRun syntheticRun(const std::string &Name, size_t N) {
+  BenchmarkRun Run;
+  Run.Name = Name;
+  Run.ModelName = "ppc7410";
+  for (size_t I = 0; I != N; ++I)
+    Run.Records.push_back(
+        record(100 + 13 * (I % 7), 60 + 11 * (I % 9), 1 + I % 5));
+  Run.Records.push_back(record(0, 0));
+  return Run;
+}
+
+std::vector<BenchmarkRun> syntheticSuite(size_t Runs, size_t RecordsPerRun) {
+  std::vector<BenchmarkRun> Suite;
+  for (size_t B = 0; B != Runs; ++B)
+    Suite.push_back(syntheticRun("run" + std::to_string(B), RecordsPerRun));
+  return Suite;
+}
+
+bool sameRecords(const std::vector<BlockRecord> &A,
+                 const std::vector<BlockRecord> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (A[I].X != B[I].X || A[I].CostNoSched != B[I].CostNoSched ||
+        A[I].CostSched != B[I].CostSched || A[I].ExecCount != B[I].ExecCount)
+      return false;
+  return true;
+}
+
+bool sameSuiteRecords(const std::vector<BenchmarkRun> &A,
+                      const std::vector<BenchmarkRun> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (A[I].ModelName != B[I].ModelName ||
+        !sameRecords(A[I].Records, B[I].Records))
+      return false;
+  return true;
+}
+
+NoiseStack parseOrDie(const std::string &Spec, uint64_t Seed) {
+  ParseResult<NoiseStack> S = parseNoiseStack(Spec, Seed);
+  EXPECT_TRUE(S.has_value()) << Spec;
+  return std::move(*S);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// --noise spec parsing
+//===----------------------------------------------------------------------===//
+
+TEST(NoiseParse, EmptySpecIsEmptyStack) {
+  NoiseStack S = parseOrDie("", 1);
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.describe(), "none");
+  EXPECT_EQ(S.seed(), 1u);
+}
+
+TEST(NoiseParse, CanonicalSpellingRoundTrips) {
+  // describe() is exactly what parseNoiseStack accepts back, so specs
+  // survive a report-header round trip.
+  const std::string Spec =
+      "jitter:0.1,spikes:0.05,labelflip:0.25,mistune:ppc970,drift:1";
+  NoiseStack S = parseOrDie(Spec, 7);
+  EXPECT_EQ(S.size(), 5u);
+  EXPECT_EQ(S.describe(), Spec);
+  EXPECT_EQ(parseOrDie(S.describe(), 7).describe(), Spec);
+}
+
+TEST(NoiseParse, SourcesMayRepeat) {
+  NoiseStack S = parseOrDie("jitter:0.1,jitter:0.2", 7);
+  EXPECT_EQ(S.size(), 2u);
+  EXPECT_EQ(S.describe(), "jitter:0.1,jitter:0.2");
+}
+
+TEST(NoiseParse, RejectsBadSpecs) {
+  const char *Bad[] = {
+      "nosuch:1",      // unknown source
+      "jitter",        // missing parameter
+      "jitter:",       // empty parameter
+      "jitter:abc",    // not a number
+      "jitter:0x1",    // hex is banned by the strict contract
+      "jitter:1e",     // trailing junk
+      "jitter:nan",    // non-finite
+      "jitter:2.1",    // above range [0, 2]
+      "jitter:-0.1",   // below range
+      "labelflip:1.5", // above range [0, 1]
+      "spikes:-1",     // below range
+      "drift:4.5",     // above range [0, 4]
+      "mistune:vax",   // unknown machine model
+      "mistune",       // missing model
+      ",jitter:0.1",   // empty leading item
+  };
+  for (const char *Spec : Bad) {
+    ParseResult<NoiseStack> S = parseNoiseStack(Spec, 1);
+    EXPECT_FALSE(S.has_value()) << Spec;
+  }
+}
+
+TEST(NoiseParse, ErrorNamesTheItemOrdinal) {
+  ParseResult<NoiseStack> S = parseNoiseStack("jitter:0.1,bogus:1", 1);
+  ASSERT_FALSE(S.has_value());
+  EXPECT_EQ(S.error().Line, 2u);
+  EXPECT_NE(S.error().Message.find("bogus"), std::string::npos);
+  EXPECT_NE(S.error().Message.find("jitter:SIGMA"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Stack semantics: identity, determinism, composition order
+//===----------------------------------------------------------------------===//
+
+TEST(NoiseStackTest, EmptyStackIsIdentity) {
+  std::vector<BenchmarkRun> Suite = syntheticSuite(3, 40);
+  std::vector<BenchmarkRun> Orig = Suite;
+  NoiseStack S = parseOrDie("", 99);
+
+  TaskPool Pool(4);
+  S.perturbSuite(Suite);
+  S.perturbSuite(Suite, Pool);
+  EXPECT_TRUE(sameSuiteRecords(Suite, Orig));
+
+  // labelRun defers to the plain Labeler byte for byte.
+  Dataset Noisy = S.labelRun(Suite[0], 0, 20.0);
+  Dataset Plain = buildDataset(Suite[0].Records, 20.0, Suite[0].Name);
+  ASSERT_EQ(Noisy.size(), Plain.size());
+  for (size_t I = 0; I != Noisy.size(); ++I) {
+    EXPECT_EQ(Noisy[I].X, Plain[I].X);
+    EXPECT_EQ(Noisy[I].Y, Plain[I].Y);
+  }
+  EXPECT_EQ(S.mixDrift(), nullptr);
+}
+
+TEST(NoiseStackTest, PerturbationIdenticalAtAnyJobCount) {
+  // The acceptance contract, per source and composed: serial, jobs=1 and
+  // jobs=4 perturbation of the same suite agree on every record bit.
+  for (const char *Spec :
+       {"jitter:0.3", "spikes:0.2", "labelflip:0.5",
+        "jitter:0.3,spikes:0.2,labelflip:0.5"}) {
+    std::vector<BenchmarkRun> Serial = syntheticSuite(6, 120);
+    std::vector<BenchmarkRun> Jobs1 = Serial, Jobs4 = Serial;
+    NoiseStack S = parseOrDie(Spec, 42);
+
+    S.perturbSuite(Serial);
+    TaskPool P1(1), P4(4);
+    S.perturbSuite(Jobs1, P1);
+    S.perturbSuite(Jobs4, P4);
+    EXPECT_TRUE(sameSuiteRecords(Serial, Jobs1)) << Spec;
+    EXPECT_TRUE(sameSuiteRecords(Serial, Jobs4)) << Spec;
+
+    // Label lanes too: parallel labelSuite equals per-run labelRun.
+    std::vector<Dataset> L4 = S.labelSuite(Serial, 0.0, P4);
+    for (size_t B = 0; B != Serial.size(); ++B) {
+      Dataset One = S.labelRun(Serial[B], B, 0.0);
+      ASSERT_EQ(L4[B].size(), One.size()) << Spec;
+      for (size_t I = 0; I != One.size(); ++I)
+        EXPECT_EQ(L4[B][I].Y, One[I].Y) << Spec;
+    }
+  }
+}
+
+TEST(NoiseStackTest, PerRunStreamsIndependentOfVisitOrder) {
+  // perturbRun keys the lane on the run *index*, so perturbing run 2
+  // alone yields the same bytes as perturbing the whole suite.
+  std::vector<BenchmarkRun> Suite = syntheticSuite(4, 60);
+  std::vector<BenchmarkRun> Whole = Suite;
+  NoiseStack S = parseOrDie("jitter:0.4,spikes:0.3", 5);
+  S.perturbSuite(Whole);
+  BenchmarkRun Lone = Suite[2];
+  S.perturbRun(Lone, 2);
+  EXPECT_TRUE(sameRecords(Lone.Records, Whole[2].Records));
+}
+
+TEST(NoiseStackTest, CompositionOrderIsSemantic) {
+  // jitter-then-spikes and spikes-then-jitter are different experiments:
+  // the second source sees the first's record values, and the sources'
+  // streams are keyed by stack position.  Pinned so a future "helpful"
+  // canonicalization cannot silently reorder stacks.
+  std::vector<BenchmarkRun> AB = syntheticSuite(2, 100);
+  std::vector<BenchmarkRun> BA = AB;
+  parseOrDie("jitter:0.5,spikes:0.5", 11).perturbSuite(AB);
+  parseOrDie("spikes:0.5,jitter:0.5", 11).perturbSuite(BA);
+  EXPECT_FALSE(sameSuiteRecords(AB, BA));
+}
+
+TEST(NoiseStackTest, SeedSelectsTheExperiment) {
+  std::vector<BenchmarkRun> S1 = syntheticSuite(2, 100);
+  std::vector<BenchmarkRun> S2 = S1, S1Again = S1;
+  parseOrDie("jitter:0.3", 1).perturbSuite(S1);
+  parseOrDie("jitter:0.3", 2).perturbSuite(S2);
+  parseOrDie("jitter:0.3", 1).perturbSuite(S1Again);
+  EXPECT_FALSE(sameSuiteRecords(S1, S2));
+  EXPECT_TRUE(sameSuiteRecords(S1, S1Again));
+}
+
+//===----------------------------------------------------------------------===//
+// Per-source distribution shape (fixed seeds, generous bounds)
+//===----------------------------------------------------------------------===//
+
+TEST(NoiseStats, JitterIsUnbiasedInLogSpaceAndClamped) {
+  const size_t N = 4000;
+  const double Sigma = 0.2;
+  BenchmarkRun Run;
+  Run.ModelName = "ppc7410";
+  for (size_t I = 0; I != N; ++I)
+    Run.Records.push_back(record(1000, 1000));
+  Run.Records.push_back(record(0, 7)); // zero stays zero, partner jitters
+
+  NoiseStack S = parseOrDie("jitter:0.2", 17);
+  S.perturbRun(Run, 0);
+
+  double SumLog = 0.0;
+  size_t Changed = 0;
+  for (size_t I = 0; I != N; ++I) {
+    uint64_t C = Run.Records[I].CostNoSched;
+    ASSERT_GE(C, 1u);
+    SumLog += std::log(static_cast<double>(C) / 1000.0);
+    Changed += C != 1000;
+    // The two costs of one record draw independent factors.
+    if (Run.Records[I].CostSched != C)
+      ++Changed;
+  }
+  // Mean log-factor ~ N(0, Sigma/sqrt(N)); 5 standard errors of slack.
+  EXPECT_NEAR(SumLog / static_cast<double>(N), 0.0,
+              5.0 * Sigma / std::sqrt(static_cast<double>(N)));
+  EXPECT_GT(Changed, N / 2); // the noise actually noises
+  EXPECT_EQ(Run.Records[N].CostNoSched, 0u);
+  EXPECT_GE(Run.Records[N].CostSched, 1u);
+}
+
+TEST(NoiseStats, SpikeRateAndTruncatedTail) {
+  const size_t N = 4000;
+  const double P = 0.1;
+  BenchmarkRun Run;
+  Run.ModelName = "ppc7410";
+  for (size_t I = 0; I != N; ++I)
+    Run.Records.push_back(record(100, 50));
+  Run.Records.push_back(record(0, 0)); // empty block: nothing to miss on
+
+  NoiseStack S = parseOrDie("spikes:0.1", 23);
+  S.perturbRun(Run, 0);
+
+  size_t Spiked = 0;
+  uint64_t MaxBurst = 0;
+  for (size_t I = 0; I != N; ++I) {
+    const BlockRecord &R = Run.Records[I];
+    if (R.CostNoSched == 100) {
+      EXPECT_EQ(R.CostSched, 50u); // untouched record is fully untouched
+      continue;
+    }
+    ++Spiked;
+    uint64_t Burst = R.CostNoSched - 100;
+    // The same burst lands on both costs (a miss stalls the block
+    // however it was scheduled) and respects the documented support.
+    EXPECT_EQ(R.CostSched - 50, Burst);
+    EXPECT_GE(Burst, 8u);
+    EXPECT_LE(Burst, 4096u);
+    MaxBurst = std::max(MaxBurst, Burst);
+  }
+  double Rate = static_cast<double>(Spiked) / static_cast<double>(N);
+  EXPECT_NEAR(Rate, P, 5.0 * std::sqrt(P * (1 - P) / N));
+  EXPECT_GT(MaxBurst, 64u); // the tail is actually heavy
+  EXPECT_EQ(Run.Records[N].CostNoSched, 0u);
+  EXPECT_EQ(Run.Records[N].CostSched, 0u);
+}
+
+TEST(NoiseStats, LabelFlipRateMatchesAndBandStaysDropped) {
+  // 2000 clear-LS records at t=0: the flip fraction must track P.
+  const size_t N = 2000;
+  const double P = 0.3;
+  BenchmarkRun Run;
+  Run.Name = "flips";
+  for (size_t I = 0; I != N; ++I)
+    Run.Records.push_back(record(100, 50)); // 50% benefit -> LS
+
+  NoiseStack S = parseOrDie("labelflip:0.3", 31);
+  Dataset D = S.labelRun(Run, 0, 0.0);
+  ASSERT_EQ(D.size(), N); // flips never change the training-set size
+  double Rate = static_cast<double>(D.countLabel(Label::NS)) /
+                static_cast<double>(N);
+  EXPECT_NEAR(Rate, P, 5.0 * std::sqrt(P * (1 - P) / N));
+
+  // Records the threshold rule dropped stay dropped even at flip
+  // probability 1: the source corrupts answers, not questions.
+  BenchmarkRun Band;
+  Band.Name = "band";
+  for (size_t I = 0; I != 50; ++I)
+    Band.Records.push_back(record(100, 90)); // 10% benefit: in (0, 20]
+  EXPECT_EQ(parseOrDie("labelflip:1", 31).labelRun(Band, 0, 20.0).size(), 0u);
+}
+
+TEST(NoiseMisTune, SwapsModelAndRecomputesReports) {
+  MachineModel Train = MachineModel::ppc7410();
+  std::vector<BenchmarkRun> Suite =
+      generateSuiteData(test::shrinkSuite(specjvm98Suite(), 4), Train);
+  std::vector<BenchmarkRun> Orig = Suite;
+
+  NoiseStack S = parseOrDie("mistune:ppc970", 3);
+  S.perturbSuite(Suite);
+  std::optional<MachineModel> Serve = MachineModel::byName("ppc970");
+  ASSERT_TRUE(Serve.has_value());
+  for (size_t B = 0; B != Suite.size(); ++B) {
+    // The mis-tuning: records keep the training model's costs...
+    EXPECT_TRUE(sameRecords(Suite[B].Records, Orig[B].Records));
+    // ...while the run's identity and fixed policies move to the serve
+    // machine.
+    EXPECT_EQ(Suite[B].ModelName, "ppc970");
+    CompileReport Never =
+        compileProgram(Suite[B].Prog, *Serve, SchedulingPolicy::Never);
+    CompileReport Always =
+        compileProgram(Suite[B].Prog, *Serve, SchedulingPolicy::Always);
+    EXPECT_EQ(Suite[B].NeverReport.SimulatedTime, Never.SimulatedTime);
+    EXPECT_EQ(Suite[B].AlwaysReport.SimulatedTime, Always.SimulatedTime);
+    EXPECT_EQ(Suite[B].AlwaysReport.SchedulingWork, Always.SchedulingWork);
+    EXPECT_NE(Suite[B].NeverReport.SimulatedTime,
+              Orig[B].NeverReport.SimulatedTime);
+  }
+
+  // Mis-tuning to the model the suite was traced under is the identity.
+  std::vector<BenchmarkRun> Same = Orig;
+  parseOrDie("mistune:ppc7410", 3).perturbSuite(Same);
+  for (size_t B = 0; B != Same.size(); ++B) {
+    EXPECT_EQ(Same[B].ModelName, Orig[B].ModelName);
+    EXPECT_EQ(Same[B].NeverReport.SimulatedTime,
+              Orig[B].NeverReport.SimulatedTime);
+  }
+}
+
+TEST(NoiseDrift, FactorsArePureFunctionsOfEpochAndApp) {
+  // The drift function borrows its stack, so every stack here outlives
+  // the function taken from it.
+  NoiseStack S = parseOrDie("drift:1", 13);
+  std::function<double(uint64_t, size_t)> F = S.mixDrift();
+  ASSERT_NE(F, nullptr);
+  NoiseStack SameSeed = parseOrDie("drift:1", 13);
+  std::function<double(uint64_t, size_t)> G = SameSeed.mixDrift();
+
+  bool Varies = false;
+  double First = F(0, 0);
+  for (uint64_t E = 0; E != 48; ++E)
+    for (size_t A = 0; A != 3; ++A) {
+      double V = F(E, A);
+      EXPECT_GT(V, 0.0);
+      EXPECT_EQ(V, F(E, A)); // re-evaluation is free of hidden state
+      EXPECT_EQ(V, G(E, A)); // same (seed, spec) -> same factor
+      Varies = Varies || V != First;
+    }
+  EXPECT_TRUE(Varies); // the mix genuinely rotates
+
+  // Amplitude 0 parses but drifts() is false: the service takes its
+  // exact pre-noise path (no drift function at all).
+  NoiseStack Zero = parseOrDie("drift:0", 13);
+  EXPECT_EQ(Zero.mixDrift(), nullptr);
+  // Different seeds give a different rotation.
+  NoiseStack OtherSeed = parseOrDie("drift:1", 14);
+  EXPECT_NE(OtherSeed.mixDrift()(1, 0), F(1, 0));
+}
+
+//===----------------------------------------------------------------------===//
+// Golden pins: the robustness frontier on the full SPECjvm98 stand-in
+//===----------------------------------------------------------------------===//
+
+TEST(Golden, RobustnessFrontierWinsCleanLosesAtTopRung) {
+  // The acceptance headline, at bench_robustness's defaults (t = 20,
+  // noise seed 20040609): on the clean suite the induced filter beats
+  // always-schedule by a wide margin; by the top rung of the severity
+  // ladder always-schedule wins.  Margins never increase with severity,
+  // which bench_robustness reports as "frontier monotone: yes".
+  ExperimentEngine Engine(4);
+  std::vector<BenchmarkRun> Suite = Engine.generateSuiteData(
+      specjvm98Suite(), MachineModel::ppc7410());
+
+  std::vector<RobustnessPoint> Points;
+  for (unsigned L = 0; L != numRobustnessLevels(); ++L)
+    Points.push_back(runRobustnessPoint(
+        Engine, Suite, robustnessStack(L, GoldenSeed), 20.0));
+
+  // Clean rung: the paper's frontier.  Effort well under retention.
+  EXPECT_NEAR(Points.front().Retention, 0.68, 0.05);
+  EXPECT_NEAR(Points.front().EffortRatio, 0.35, 0.05);
+  EXPECT_GT(Points.front().WinMargin, 0.25);
+  // Top rung: the corruption has eaten the whole margin.
+  EXPECT_LT(Points.back().WinMargin, 0.0);
+  EXPECT_GT(Points.back().WinMargin, -0.15);
+  // Monotone frontier between them.
+  for (size_t I = 1; I != Points.size(); ++I)
+    EXPECT_LE(Points[I].WinMargin, Points[I - 1].WinMargin + 1e-12)
+        << "rung " << I;
+}
+
+TEST(Golden, RobustnessPointIdenticalAtJobsOneAndFour) {
+  // End-to-end determinism of a perturbed pipeline (perturb -> label ->
+  // LOOCV -> price): every field of a mid-ladder point agrees exactly
+  // between a serial and a four-worker engine.
+  std::vector<RobustnessPoint> P;
+  for (unsigned Jobs : {1u, 4u}) {
+    ExperimentEngine Engine(Jobs);
+    std::vector<BenchmarkRun> Suite = Engine.generateSuiteData(
+        specjvm98Suite(), MachineModel::ppc7410());
+    P.push_back(runRobustnessPoint(Engine, Suite,
+                                   robustnessStack(2, GoldenSeed), 20.0));
+  }
+  EXPECT_EQ(P[0].Stack, P[1].Stack);
+  EXPECT_EQ(P[0].EffortRatio, P[1].EffortRatio);
+  EXPECT_EQ(P[0].AppTimeLN, P[1].AppTimeLN);
+  EXPECT_EQ(P[0].AppTimeLS, P[1].AppTimeLS);
+  EXPECT_EQ(P[0].Retention, P[1].Retention);
+  EXPECT_EQ(P[0].WinMargin, P[1].WinMargin);
+  EXPECT_EQ(P[0].TrainLS, P[1].TrainLS);
+  EXPECT_EQ(P[0].TrainNS, P[1].TrainNS);
+  EXPECT_EQ(P[0].RuntimeLS, P[1].RuntimeLS);
+  EXPECT_EQ(P[0].RuntimeBlocks, P[1].RuntimeBlocks);
+}

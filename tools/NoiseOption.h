@@ -1,0 +1,51 @@
+//===- tools/NoiseOption.h - Shared --noise option handling -----*- C++ -*-===//
+///
+/// \file
+/// One place for the sf-* tools and bench drivers to resolve the shared
+/// perturbation surface -- --noise "src:param[,...]" and --noise-seed --
+/// into a ready NoiseStack, so the spec grammar and the error messages
+/// cannot drift between them.  An absent --noise is the empty (identity)
+/// stack; a malformed spec prints the offending item and the accepted
+/// sources and returns nullopt (exit non-zero -- a mistyped perturbation
+/// must never silently run clean).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SCHEDFILTER_TOOLS_NOISEOPTION_H
+#define SCHEDFILTER_TOOLS_NOISEOPTION_H
+
+#include "noise/NoiseStack.h"
+#include "support/CommandLine.h"
+
+#include "JobsOption.h"
+
+#include <iostream>
+#include <optional>
+
+namespace schedfilter {
+
+/// The default --noise-seed.  Fixed (not wall-clock, not per-run): the
+/// same perturbed experiment must replay bit-identically across
+/// invocations, machines and job counts.
+constexpr uint64_t DefaultNoiseSeed = 20040609; // the paper's conference date
+
+/// Resolves --noise (default: empty stack) and --noise-seed (default
+/// DefaultNoiseSeed).  nullopt = invalid flags (an error was printed;
+/// exit non-zero).
+inline std::optional<NoiseStack> parseNoiseOption(const CommandLine &CL) {
+  std::optional<uint64_t> Seed =
+      parseCountOption(CL, "noise-seed", DefaultNoiseSeed, 0, UINT64_MAX);
+  if (!Seed)
+    return std::nullopt;
+  ParseResult<NoiseStack> Stack = parseNoiseStack(CL.get("noise"), *Seed);
+  if (!Stack) {
+    std::cerr << "error: --noise item " << Stack.error().Line << ": "
+              << Stack.error().Message << '\n';
+    return std::nullopt;
+  }
+  return std::move(*Stack);
+}
+
+} // namespace schedfilter
+
+#endif // SCHEDFILTER_TOOLS_NOISEOPTION_H

@@ -30,6 +30,7 @@
 
 #include "EngineOption.h"
 #include "ModelOption.h"
+#include "NoiseOption.h"
 #include "VersionOption.h"
 #include "WorkloadOption.h"
 
@@ -43,6 +44,7 @@ static void printUsage(std::ostream &OS) {
         " [--model ppc7410|ppc970|simple-scalar] [--out FILE]\n"
         "                [--format csv|binary] [--jobs N]"
         " [--corpus-dir DIR | --no-cache]\n"
+        "                [--noise SRC:PARAM[,...]] [--noise-seed N]\n"
         "       sf-trace --workload FAMILY[,FAMILY...] [...]\n"
         "       sf-trace --list\n"
         "       sf-trace --help | --version\n";
@@ -104,8 +106,15 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  std::optional<NoiseStack> Noise = parseNoiseOption(CL);
+  if (!Noise)
+    return 1;
+
   ExperimentEngine &Engine = **Handle;
   std::vector<BenchmarkRun> Runs = Engine.generateSuiteData(Suite, *Model);
+  // Perturbation applies downstream of the corpus cache, so noisy runs
+  // never pollute cached corpora and warm/cold traces stay identical.
+  Noise->perturbSuite(Runs, Engine.pool());
   std::vector<BlockRecord> Records;
   for (BenchmarkRun &Run : Runs) {
     if (Records.empty())

@@ -37,6 +37,7 @@
 
 #include "EngineOption.h"
 #include "ModelOption.h"
+#include "NoiseOption.h"
 #include "VersionOption.h"
 #include "WorkloadOption.h"
 
@@ -52,6 +53,7 @@ static void printUsage(std::ostream &OS) {
         "                [--out RULES.txt]"
         " [--model ppc7410|ppc970|simple-scalar]\n"
         "                [--jobs N] [--corpus-dir DIR | --no-cache]\n"
+        "                [--noise SRC:PARAM[,...]] [--noise-seed N]\n"
         "       sf-train --help | --version\n";
 }
 
@@ -89,11 +91,17 @@ int main(int argc, char **argv) {
   std::optional<EngineHandle> Handle = parseEngineOptions(CL);
   if (!Handle)
     return 1;
+  std::optional<NoiseStack> Noise = parseNoiseOption(CL);
+  if (!Noise)
+    return 1;
   ExperimentEngine &Engine = **Handle;
   TaskPool &Pool = Engine.pool();
 
   // Read and label each trace on the pool; merge in command-line order so
   // the training set (and thus the filter) is identical at any job count.
+  // Each file is one run of the noise stack's lane space (run index =
+  // command-line position; --workload runs continue the numbering), so a
+  // perturbed training set replays bit-identically at any job count too.
   const std::vector<std::string> &Paths = CL.positional();
   std::vector<Dataset> Labeled(Paths.size());
   std::vector<size_t> BlockCounts(Paths.size(), 0);
@@ -108,7 +116,11 @@ int main(int argc, char **argv) {
       return;
     }
     BlockCounts[I] = Records->size();
-    Labeled[I] = buildDataset(*Records, *Threshold, Paths[I]);
+    BenchmarkRun Run;
+    Run.Name = Paths[I];
+    Run.Records = std::move(*Records);
+    Noise->perturbRun(Run, I);
+    Labeled[I] = Noise->labelRun(Run, I, *Threshold);
   });
 
   Dataset Train("train");
@@ -130,7 +142,11 @@ int main(int argc, char **argv) {
               << formatWorkloadMix(*Mix)
               << " (cache-served when warm)...\n";
     std::vector<BenchmarkRun> Runs = Engine.generateSuiteData(Suite, *Model);
-    std::vector<Dataset> FromMix = Engine.labelSuite(Runs, *Threshold);
+    std::vector<Dataset> FromMix(Runs.size());
+    Pool.parallelFor(Runs.size(), [&](size_t I) {
+      Noise->perturbRun(Runs[I], Paths.size() + I);
+      FromMix[I] = Noise->labelRun(Runs[I], Paths.size() + I, *Threshold);
+    });
     for (size_t I = 0; I != Runs.size(); ++I) {
       TotalBlocks += Runs[I].Records.size();
       Train.append(FromMix[I]);
