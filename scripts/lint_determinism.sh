@@ -87,6 +87,26 @@ check 'unordered_map|unordered_set' \
 check 'mt19937|minstd_rand|ranlux|_distribution\b' \
   'std engines/distributions are implementation-defined; use support/Rng'
 
+# Online retrain path audit: the hot-swap contract says every retrain
+# trigger, installed version, and registry byte is a pure function of
+# the virtual clock and the session seed.  The sources on that path may
+# not even include the (globally allowlisted) stderr timer or any time
+# header -- a wall-clock read here would desynchronize the swap sequence
+# across job counts.
+for f in src/ml/OnlineTrainer.h src/ml/OnlineTrainer.cpp \
+  src/io/FilterRegistry.h src/io/FilterRegistry.cpp; do
+  if [ ! -f "$f" ]; then
+    echo "determinism lint: expected online-path file '$f' missing" >&2
+    echo "  (update the retrain-path audit in $0 if it moved)" >&2
+    exit 1
+  fi
+  if grep -nE 'support/Timer\.h|<chrono>|<ctime>' "$f" >&2; then
+    echo "determinism lint: $f must stay wall-clock-free (retrains run" \
+      "on the virtual clock only)" >&2
+    exit 1
+  fi
+done
+
 if [ -f "$tmp/failed" ]; then
   echo "determinism lint FAILED (see above)" >&2
   exit 1

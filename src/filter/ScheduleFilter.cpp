@@ -37,8 +37,8 @@ void ScheduleFilter::shouldScheduleBatch(
   Batch.clear();
   Rows.clear();
   for (size_t I = 0; I != N; ++I) {
-    if (static_cast<double>(Blocks[I]->size()) < BBLenGate)
-      record({DefaultIsLS, 1}), Decisions[I] = DefaultIsLS;
+    if (static_cast<double>(Blocks[I]->size()) < Art->BBLenGate)
+      record({Art->DefaultIsLS, 1}), Decisions[I] = Art->DefaultIsLS;
     else {
       Batch.push_back(Blocks[I]);
       Rows.push_back(static_cast<uint32_t>(I));
@@ -55,7 +55,8 @@ void ScheduleFilter::shouldScheduleBatch(
   std::vector<uint64_t> &RowWork = Ctx.batchWork();
   IsLS.assign(Batch.size(), 0);
   RowWork.assign(Batch.size(), 0);
-  Compiled.evaluateBatch(M, Ctx.predScratch(), IsLS.data(), RowWork.data());
+  Art->Compiled.evaluateBatch(M, Ctx.predScratch(), IsLS.data(),
+                              RowWork.data());
   for (size_t R = 0; R != Batch.size(); ++R) {
     record({IsLS[R] != 0, RowWork[R]});
     Decisions[Rows[R]] = IsLS[R];

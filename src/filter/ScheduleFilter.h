@@ -7,11 +7,18 @@
 /// default (NS) means "leave it alone".  Mirrors §2.2's final step of
 /// installing the learned function in the compiler and applying it online.
 ///
-/// Every ScheduleFilter owns a CompiledFilter built from its rule set at
-/// construction, so all callers (sf-apply, sf-serve, CompileService, the
-/// bench drivers) get the flat branchless evaluator for free.  The
-/// original interpreter is kept behind FilterEval::Interpreted purely as
-/// a cross-check: both paths are bit-exactly equivalent in predictions
+/// Every ScheduleFilter borrows an immutable FilterArtifact (rule set +
+/// CompiledFilter + fast-path constants; see filter/FilterVersion.h), so
+/// all callers (sf-apply, sf-serve, CompileService, the bench drivers)
+/// get the flat branchless evaluator for free, and a rule set is
+/// compiled once per *version* rather than once per filter instance.
+/// Construction from a plain RuleSet wraps it in a fresh unversioned
+/// artifact; the online-serving loop instead shares one versioned
+/// artifact across every per-task filter and swaps the shared handle at
+/// epoch boundaries -- in-flight borrowers keep the version they
+/// captured, which is what makes the hot-swap safe.  The original
+/// interpreter is kept behind FilterEval::Interpreted purely as a
+/// cross-check: both paths are bit-exactly equivalent in predictions
 /// AND work units (tests/compiled_filter_test.cpp proves it), so stats
 /// and golden pins are byte-identical whichever one runs.
 ///
@@ -21,8 +28,7 @@
 #define SCHEDFILTER_FILTER_SCHEDULEFILTER_H
 
 #include "features/Features.h"
-#include "filter/CompiledFilter.h"
-#include "ml/Rule.h"
+#include "filter/FilterVersion.h"
 
 #include <atomic>
 #include <vector>
@@ -42,14 +48,23 @@ const char *getFilterEvalName(FilterEval E);
 /// Wraps an induced RuleSet as an online block filter.
 class ScheduleFilter {
 public:
-  /// Compiles \p RS and captures the evaluator mode; by default the
-  /// process-wide mode (see setDefaultEval), so components that build
-  /// filters internally -- CompileService constructs one per parallel
-  /// task -- honor a tool-level --filter-eval switch without plumbing.
+  /// Compiles \p RS into a fresh unversioned artifact and captures the
+  /// evaluator mode; by default the process-wide mode (see
+  /// setDefaultEval), so components that build filters internally honor
+  /// a tool-level --filter-eval switch without plumbing.
   explicit ScheduleFilter(RuleSet RS, FilterEval Eval = defaultEval())
-      : Rules(std::move(RS)), Compiled(Rules),
-        BBLenGate(Rules.minMatchableBBLen()),
-        DefaultIsLS(Rules.getDefaultClass() == Label::LS), Eval(Eval) {}
+      : ScheduleFilter(makeFilterArtifact(std::move(RS)), Eval) {}
+
+  /// Borrows an existing (possibly shared) artifact: no recompilation,
+  /// just a shared_ptr copy.  This is the per-version swap-safe path the
+  /// runtime services use -- each parallel compile task constructs one of
+  /// these from the service's current artifact, and a concurrent install
+  /// of a newer version cannot perturb it.  The evaluator mode is still
+  /// captured per instance (the process-wide default is a tool-level
+  /// setting, never part of an artifact).
+  explicit ScheduleFilter(FilterArtifactRef Artifact,
+                          FilterEval Eval = defaultEval())
+      : Art(std::move(Artifact)), Eval(Eval) {}
 
   /// True if the filter predicts the block benefits from scheduling.
   /// Accumulates decision counters and deterministic work units.
@@ -84,8 +99,11 @@ public:
   void shouldScheduleBatch(const std::vector<const BasicBlock *> &Blocks,
                            SchedContext &Ctx, std::vector<char> &Decisions);
 
-  const RuleSet &ruleSet() const { return Rules; }
-  const CompiledFilter &compiled() const { return Compiled; }
+  const RuleSet &ruleSet() const { return Art->Rules; }
+  const CompiledFilter &compiled() const { return Art->Compiled; }
+  const FilterArtifactRef &artifact() const { return Art; }
+  /// The borrowed artifact's version (0 for plain rule-set filters).
+  uint32_t version() const { return Art->Version; }
   FilterEval evalMode() const { return Eval; }
 
   /// Process-wide default evaluator for subsequently constructed filters
@@ -113,17 +131,17 @@ private:
   /// evaluate.  Work includes the feature pass (or the single gate
   /// comparison), matching the historical accounting bit for bit.
   CompiledFilter::Decision decide(const BasicBlock &BB) const {
-    if (static_cast<double>(BB.size()) < BBLenGate)
-      return {DefaultIsLS, 1};
+    if (static_cast<double>(BB.size()) < Art->BBLenGate)
+      return {Art->DefaultIsLS, 1};
     FeatureVector X = extractFeatures(BB);
     uint64_t ExtractWork = featureExtractionWork(BB);
     if (Eval == FilterEval::Compiled) {
-      CompiledFilter::Decision D = Compiled.evaluate(X);
+      CompiledFilter::Decision D = Art->Compiled.evaluate(X);
       D.Work += ExtractWork;
       return D;
     }
-    return {Rules.predict(X) == Label::LS,
-            ExtractWork + Rules.predictionWork(X)};
+    return {Art->Rules.predict(X) == Label::LS,
+            ExtractWork + Art->Rules.predictionWork(X)};
   }
 
   void record(const CompiledFilter::Decision &D) {
@@ -136,10 +154,7 @@ private:
 
   static std::atomic<FilterEval> DefaultEval;
 
-  RuleSet Rules;
-  CompiledFilter Compiled;
-  double BBLenGate;
-  bool DefaultIsLS;
+  FilterArtifactRef Art; ///< never null; shared and immutable
   FilterEval Eval;
   uint64_t NumLS = 0;
   uint64_t NumNS = 0;

@@ -2,6 +2,7 @@
 
 #include "runtime/CompileService.h"
 
+#include "io/FilterRegistry.h"
 #include "runtime/MethodCompiler.h"
 #include "runtime/RecompileQueue.h"
 #include "sched/SchedContext.h"
@@ -10,6 +11,21 @@
 #include <cassert>
 
 using namespace schedfilter;
+
+bool schedfilter::operator==(const ServiceStats::FilterSwapStat &A,
+                             const ServiceStats::FilterSwapStat &B) {
+  return A.Epoch == B.Epoch && A.Tick == B.Tick && A.Version == B.Version &&
+         A.ParentVersion == B.ParentVersion &&
+         A.TriggerTick == B.TriggerTick &&
+         A.CorpusRecords == B.CorpusRecords && A.RulesHash == B.RulesHash;
+}
+
+bool schedfilter::operator==(const ServiceStats::CompilePinStat &A,
+                             const ServiceStats::CompilePinStat &B) {
+  return A.Epoch == B.Epoch && A.Method == B.Method &&
+         A.FilterVersion == B.FilterVersion &&
+         A.SchedulingWork == B.SchedulingWork;
+}
 
 bool schedfilter::operator==(const ServiceStats &A, const ServiceStats &B) {
   return A.Invocations == B.Invocations && A.Epochs == B.Epochs &&
@@ -28,7 +44,10 @@ bool schedfilter::operator==(const ServiceStats &A, const ServiceStats &B) {
          A.BlocksCompiled == B.BlocksCompiled &&
          A.BlocksScheduled == B.BlocksScheduled &&
          A.FilterLS == B.FilterLS && A.FilterNS == B.FilterNS &&
-         A.AppTime == B.AppTime && A.BaselineAppTime == B.BaselineAppTime;
+         A.AppTime == B.AppTime && A.BaselineAppTime == B.BaselineAppTime &&
+         A.Retrains == B.Retrains && A.CorpusRecords == B.CorpusRecords &&
+         A.FinalFilterVersion == B.FinalFilterVersion && A.Swaps == B.Swaps &&
+         A.Compiles == B.Compiles;
 }
 
 uint64_t schedfilter::invocationStreamSeed(uint64_t WorkloadSeed) {
@@ -48,6 +67,12 @@ CompileService::CompileService(const Program &P, const MachineModel &Model,
          "rules must be supplied exactly for the Filtered policy");
   assert(Cfg.QueueCap >= 1 && Cfg.EpochLen >= 1 && Cfg.SampleEvery >= 1 &&
          "degenerate service configuration");
+  assert((!Cfg.Online || Rules) && "online mode requires the Filtered policy");
+
+  // Compile the initial filter version once; every per-task filter of
+  // every drain borrows it.  Online sessions number their lineage from 1.
+  if (Rules)
+    BaseArt = makeFilterArtifact(*Rules, Cfg.Online ? 1 : 0);
 
   // Invocation distribution: methods invoked proportionally to their total
   // profile weight, the populations the generator's hotness profile
@@ -119,10 +144,37 @@ ServiceStats CompileService::run() {
     CompileReport Report;
     uint64_t FilterLS = 0;
     uint64_t FilterNS = 0;
+    std::vector<BlockRecord> Records; ///< serve trace (online mode only)
   };
   std::vector<uint32_t> Drained;
   std::vector<CompileOutcome> Outcomes;
   double QueueDepthSum = 0.0;
+
+  // Online self-training state.  Cur is the filter version the *next*
+  // drain compiles with; a retrain triggered at boundary E becomes
+  // PendingArt and installs at boundary E+1 -- the virtual clock's model
+  // of background training latency, mirroring compile latency.  All
+  // trainer calls happen on this serial path, so the swap sequence is a
+  // pure function of (seed, config) at any job count.
+  FilterArtifactRef Cur = BaseArt;
+  FilterArtifactRef PendingArt;
+  OnlineTrainer Trainer(Pool, Cfg.RetrainThreshold,
+                        {Cfg.RetrainEvery, Cfg.MinRetrainRecords});
+  auto InstallSwap = [&](ServiceStats &S, const FilterArtifactRef &Art,
+                         uint64_t Epoch, uint64_t Tick) {
+    S.Swaps.push_back({Epoch, Tick, Art->Version, Art->ParentVersion,
+                       Art->TriggerTick, Art->CorpusRecords,
+                       rulesFingerprint(Art->Rules)});
+    if (Registry)
+      Registry->store({Art->Version, Art->ParentVersion, Art->TriggerTick,
+                       Cfg.StreamSeed, Art->CorpusRecords,
+                       Cfg.RetrainThreshold, RegistryModel, RegistryWorkload},
+                      Art->Rules);
+  };
+  if (Cfg.Online) {
+    Trainer.seedCorpus(SeedCorpus);
+    InstallSwap(St, Cur, 0, 0); // the initial version is swap entry 0
+  }
 
   for (uint64_t Tick = 0; Tick < Cfg.Invocations;) {
     // --- One epoch of invocations (the virtual clock's install
@@ -159,6 +211,15 @@ ServiceStats CompileService::run() {
     St.MaxQueueDepth = std::max<uint64_t>(St.MaxQueueDepth, Queue.size());
     QueueDepthSum += static_cast<double>(Queue.size());
 
+    // A retrain triggered at the previous boundary installs now, before
+    // this boundary's drain: methods compiled since the trigger kept the
+    // old version (mid-epoch pinning), this drain onward uses the new.
+    if (PendingArt) {
+      Cur = std::move(PendingArt);
+      PendingArt = nullptr;
+      InstallSwap(St, Cur, St.Epochs, Tick);
+    }
+
     Drained.clear();
     for (uint32_t I = 0; I != Cfg.DrainPerEpoch; ++I) {
       uint32_t M = 0;
@@ -169,14 +230,16 @@ ServiceStats CompileService::run() {
 
     Outcomes.assign(Drained.size(), CompileOutcome());
     Pool.parallelFor(Drained.size(), [&](size_t I) {
-      // Per-task context and per-task filter copy: the shared filter's
-      // statistics counters are not thread-safe, and per-task copies also
-      // make each outcome a pure function of (method, model, rules).
+      // Per-task context and per-task filter view of the shared current
+      // artifact: the filter's statistics counters are not thread-safe,
+      // but the artifact itself is immutable, so borrowing it keeps each
+      // outcome a pure function of (method, model, version) without
+      // recompiling the rules per task.
       SchedContext Ctx;
       MethodCompiler MC(Model, Ctx);
       CompileOutcome &Out = Outcomes[I];
-      if (Rules && Cfg.OptimizingPolicy == SchedulingPolicy::Filtered) {
-        ScheduleFilter F(*Rules);
+      if (Cur && Cfg.OptimizingPolicy == SchedulingPolicy::Filtered) {
+        ScheduleFilter F(Cur);
         MC.compileMethod(Prog[Drained[I]], Cfg.OptimizingPolicy, &F,
                          Out.Report);
         Out.FilterLS = F.numScheduleDecisions();
@@ -185,6 +248,8 @@ ServiceStats CompileService::run() {
         MC.compileMethod(Prog[Drained[I]], Cfg.OptimizingPolicy, nullptr,
                          Out.Report);
       }
+      if (Cfg.Online)
+        MC.traceMethod(Prog[Drained[I]], Out.Records);
     });
 
     // Install in drain order (never completion order): deterministic
@@ -192,7 +257,7 @@ ServiceStats CompileService::run() {
     // first tick -- compile latency under the virtual clock.
     for (size_t I = 0; I != Drained.size(); ++I) {
       uint32_t M = Drained[I];
-      const CompileOutcome &Out = Outcomes[I];
+      CompileOutcome &Out = Outcomes[I];
       Tiers[M] = Tier::Optimizing;
       Pending[M] = false;
       Cost[M] = Out.Report.SimulatedTime;
@@ -203,9 +268,26 @@ ServiceStats CompileService::run() {
       St.FilterLS += Out.FilterLS;
       St.FilterNS += Out.FilterNS;
       ++St.CompiledMethods;
+      St.Compiles.push_back({St.Epochs, M, Cur ? Cur->Version : 0,
+                             Out.Report.SchedulingWork});
+      if (Cfg.Online) {
+        St.CorpusRecords += Out.Records.size();
+        Trainer.absorb(Out.Records);
+      }
+    }
+
+    // Retrain trigger: a pure function of the virtual clock and the
+    // absorb sequence.  The trained artifact waits as PendingArt until
+    // the next boundary (training runs on the shared pool, bit-identical
+    // at any job count).
+    if (Cfg.Online) {
+      PendingArt = Trainer.maybeRetrain(Tick, Cur->Version);
+      if (PendingArt)
+        ++St.Retrains;
     }
   }
 
+  St.FinalFilterVersion = Cur ? Cur->Version : 0;
   St.Invocations = Cfg.Invocations;
   St.FinalQueueDepth = Queue.size();
   St.MeanQueueDepth =
@@ -215,21 +297,29 @@ ServiceStats CompileService::run() {
   return St;
 }
 
-ServeComparison schedfilter::runServeComparison(const Program &P,
-                                               const MachineModel &Model,
-                                               ServiceConfig Cfg,
-                                               const RuleSet &Rules,
-                                               TaskPool &Pool) {
+ServeComparison schedfilter::runServeComparison(
+    const Program &P, const MachineModel &Model, ServiceConfig Cfg,
+    const RuleSet &Rules, TaskPool &Pool,
+    std::vector<BlockRecord> SeedCorpus, FilterRegistry *Registry,
+    const std::string &Workload, const std::string &ModelName) {
   ServeComparison Cmp;
+  bool Online = Cfg.Online;
 
   Cfg.OptimizingPolicy = SchedulingPolicy::Always;
+  Cfg.Online = false; // the LS tier ignores the filter; nothing to train
   CompileService Always(P, Model, Cfg, nullptr, Pool);
   Cmp.Always = Always.run();
 
   Cfg.OptimizingPolicy = SchedulingPolicy::Filtered;
-  Cmp.Filtered =
-      CompileService(P, Model, Cfg, &Rules, Pool, &Always.baselineCosts())
-          .run();
+  Cfg.Online = Online;
+  CompileService Filtered(P, Model, Cfg, &Rules, Pool,
+                          &Always.baselineCosts());
+  if (Online) {
+    Filtered.setSeedCorpus(std::move(SeedCorpus));
+    if (Registry)
+      Filtered.setFilterRegistry(Registry, Workload, ModelName);
+  }
+  Cmp.Filtered = Filtered.run();
 
   if (Cmp.Always.SchedulingWork)
     Cmp.RecoupedWorkFraction =

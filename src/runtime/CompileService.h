@@ -37,12 +37,15 @@
 #define SCHEDFILTER_RUNTIME_COMPILESERVICE_H
 
 #include "filter/Pipeline.h"
+#include "ml/OnlineTrainer.h"
 #include "support/Rng.h"
 #include "support/TaskPool.h"
 
 #include <cstdint>
 
 namespace schedfilter {
+
+class FilterRegistry;
 
 /// Compilation tiers a method moves through.
 enum class Tier {
@@ -77,6 +80,20 @@ struct ServiceConfig {
   /// Seed of the invocation stream; derive with invocationStreamSeed so
   /// the stream is a pure function of the workload.
   uint64_t StreamSeed = 0;
+
+  /// Online self-training (requires the Filtered policy): the optimizing
+  /// tier traces every method it compiles, records accumulate in an
+  /// OnlineTrainer, and when the RetrainPolicy fires (virtual clock only)
+  /// a new filter version trains on the shared pool and installs at the
+  /// *next* epoch boundary -- methods compiled in between keep the old
+  /// version (ServiceStats pins which version compiled each method).
+  bool Online = false;
+  /// RetrainPolicy::RetrainEvery, in virtual ticks (--retrain-every).
+  uint64_t RetrainEvery = 8192;
+  /// RetrainPolicy::MinNewRecords.
+  uint64_t MinRetrainRecords = 1;
+  /// Labeling threshold (percent) every online retrain uses.
+  double RetrainThreshold = 0.0;
 };
 
 /// Everything one service run measures.  All fields are deterministic --
@@ -116,7 +133,44 @@ struct ServiceStats {
   /// service's optimization recouped).
   double AppTime = 0.0;
   double BaselineAppTime = 0.0;
+
+  /// Online self-training (all zero / empty when Cfg.Online is off).
+  uint64_t Retrains = 0;          ///< retrain triggers that fired
+  uint64_t CorpusRecords = 0;     ///< records absorbed from serve traces
+  uint32_t FinalFilterVersion = 0; ///< version installed at stream end
+
+  /// One record per installed filter version, in install order -- the
+  /// swap sequence of the run, byte-comparable across job counts.  The
+  /// initial version appears as entry 0 (Epoch 0, Tick 0).
+  struct FilterSwapStat {
+    uint64_t Epoch = 0;         ///< boundary index the swap installed at
+    uint64_t Tick = 0;          ///< virtual tick of the install
+    uint32_t Version = 0;
+    uint32_t ParentVersion = 0;
+    uint64_t TriggerTick = 0;   ///< when the retrain was triggered
+    uint64_t CorpusRecords = 0; ///< corpus size the version trained on
+    uint64_t RulesHash = 0;     ///< rulesFingerprint of the version
+  };
+  std::vector<FilterSwapStat> Swaps;
+
+  /// One record per retired compile, in install order: which filter
+  /// version compiled the method (0 for non-filtered runs) and what it
+  /// cost.  The mid-epoch pinning invariant lives here -- a method
+  /// drained at boundary E carries the version current at E, even if a
+  /// retrain triggered at E installs a newer one at E+1.
+  struct CompilePinStat {
+    uint64_t Epoch = 0;
+    uint32_t Method = 0;
+    uint32_t FilterVersion = 0;
+    uint64_t SchedulingWork = 0;
+  };
+  std::vector<CompilePinStat> Compiles;
 };
+
+bool operator==(const ServiceStats::FilterSwapStat &A,
+                const ServiceStats::FilterSwapStat &B);
+bool operator==(const ServiceStats::CompilePinStat &A,
+                const ServiceStats::CompilePinStat &B);
 
 /// True when every deterministic field matches (all of them are).
 bool operator==(const ServiceStats &A, const ServiceStats &B);
@@ -153,6 +207,23 @@ public:
 
   const ServiceConfig &config() const { return Cfg; }
 
+  /// Pre-serve training corpus for online mode (the records the v1
+  /// factory filter trained on): the first retrain learns from seed +
+  /// serve traces, not serve traces alone.
+  void setSeedCorpus(std::vector<BlockRecord> Records) {
+    SeedCorpus = std::move(Records);
+  }
+
+  /// Persists every installed filter version (including v1) into \p Reg
+  /// during run().  \p Workload and \p ModelName are stamped into each
+  /// entry's metadata; \p Reg is borrowed and must outlive run().
+  void setFilterRegistry(FilterRegistry *Reg, std::string Workload,
+                         std::string ModelName) {
+    Registry = Reg;
+    RegistryWorkload = std::move(Workload);
+    RegistryModel = std::move(ModelName);
+  }
+
   /// Per-invocation baseline-tier cost of each method (computed at
   /// construction; sharable across services over the same program/model).
   const std::vector<double> &baselineCosts() const { return BaselineCost; }
@@ -163,6 +234,13 @@ private:
   ServiceConfig Cfg;
   const RuleSet *Rules;
   TaskPool &Pool;
+  /// The initial filter version (version 1 online, 0 otherwise),
+  /// compiled once at construction and shared by every per-task filter.
+  FilterArtifactRef BaseArt;
+  std::vector<BlockRecord> SeedCorpus;
+  FilterRegistry *Registry = nullptr;
+  std::string RegistryWorkload;
+  std::string RegistryModel;
 
   /// Cumulative profile-weight distribution over methods (CDF) for the
   /// invocation sampler.
@@ -190,10 +268,19 @@ struct ServeComparison {
 };
 
 /// Runs the service twice over the identical stream (Always, then
-/// Filtered with \p Rules) and computes the recouped-work headline.
+/// Filtered with \p Rules) and computes the recouped-work headline.  In
+/// online mode (Cfg.Online) the Filtered side self-trains: it is seeded
+/// with \p SeedCorpus, retrains per Cfg's policy, and -- when \p Registry
+/// is non-null -- persists its filter lineage stamped with \p Workload
+/// and \p ModelName.  The Always side never trains (its policy ignores
+/// the filter entirely), so Cfg.Online is forced off for it.
 ServeComparison runServeComparison(const Program &P, const MachineModel &Model,
                                    ServiceConfig Cfg, const RuleSet &Rules,
-                                   TaskPool &Pool);
+                                   TaskPool &Pool,
+                                   std::vector<BlockRecord> SeedCorpus = {},
+                                   FilterRegistry *Registry = nullptr,
+                                   const std::string &Workload = "",
+                                   const std::string &ModelName = "");
 
 /// The profile-directed batch entry of the tiered-compilation subsystem,
 /// the §3.1 hot-method-only regime: methods are ranked by total profile

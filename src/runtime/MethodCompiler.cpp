@@ -76,3 +76,21 @@ void MethodCompiler::compileMethod(const Method &M, SchedulingPolicy Policy,
     Report.SchedulingWork += Delta;
   }
 }
+
+void MethodCompiler::traceMethod(const Method &M,
+                                 std::vector<BlockRecord> &Records) {
+  // Mirrors the experiment engine's traceBenchmark block recipe exactly:
+  // unscheduled cost first, then schedule and re-simulate -- so records
+  // produced here label identically to a whole-program trace of the same
+  // blocks.
+  std::vector<int> &Order = Ctx.orderBuffer();
+  for (const BasicBlock &BB : M) {
+    BlockRecord Rec;
+    Rec.X = extractFeatures(BB);
+    Rec.ExecCount = BB.getExecCount();
+    Rec.CostNoSched = Sim.simulate(BB, Ctx);
+    Scheduler.schedule(BB, Ctx, Order);
+    Rec.CostSched = Sim.simulate(BB, Order, Ctx);
+    Records.push_back(Rec);
+  }
+}

@@ -20,6 +20,7 @@
 
 #include "filter/Pipeline.h"
 #include "mir/Method.h"
+#include "ml/Labeler.h"
 
 namespace schedfilter {
 
@@ -45,6 +46,16 @@ public:
   /// same methods in the same order.
   void compileMethod(const Method &M, SchedulingPolicy Policy,
                      ScheduleFilter *Filter, CompileReport &Report);
+
+  /// The §2.2 instrumented-scheduler pass over one method: appends one
+  /// BlockRecord per block (features, simulated cost unscheduled and
+  /// list-scheduled, profile weight) to \p Records, in block order.  The
+  /// same per-block recipe as the experiment engine's whole-benchmark
+  /// trace, factored to method granularity so the online serving loop can
+  /// trace exactly the methods its optimizing tier compiles.  A pure
+  /// function of (method, model) -- safe at any parallelism when each
+  /// worker appends into its own index-owned vector.
+  void traceMethod(const Method &M, std::vector<BlockRecord> &Records);
 
 private:
   ListScheduler Scheduler;

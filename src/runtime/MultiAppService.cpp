@@ -2,6 +2,7 @@
 
 #include "runtime/MultiAppService.h"
 
+#include "io/FilterRegistry.h"
 #include "io/TraceStore.h"
 #include "runtime/MethodCompiler.h"
 #include "runtime/RecompileQueue.h"
@@ -72,6 +73,10 @@ MultiAppService::MultiAppService(const std::vector<AppSpec> &Apps,
   assert((Cfg.OptimizingPolicy == SchedulingPolicy::Filtered) ==
              (Rules != nullptr) &&
          "rules must be supplied exactly for the Filtered policy");
+  assert((!Cfg.Online || Rules) && "online mode requires the Filtered policy");
+
+  if (Rules)
+    BaseArt = makeFilterArtifact(*Rules, Cfg.Online ? 1 : 0);
 
   // App-interleave CDF and, per app, the method-draw CDF -- the same
   // profile-weight distribution CompileService builds, one per tenant.
@@ -162,10 +167,35 @@ MultiAppStats MultiAppService::run() {
     CompileReport Report;
     uint64_t FilterLS = 0;
     uint64_t FilterNS = 0;
+    std::vector<BlockRecord> Records; ///< serve trace (online mode only)
   };
   std::vector<uint32_t> Drained;
   std::vector<CompileOutcome> Outcomes;
   double QueueDepthSum = 0.0;
+
+  // Online self-training state (see CompileService::run for the install
+  // ordering contract).  Swaps and compile pins fold into St.Total only:
+  // the filter lineage is a property of the shared service, not of any
+  // single tenant.
+  FilterArtifactRef Cur = BaseArt;
+  FilterArtifactRef PendingArt;
+  OnlineTrainer Trainer(Pool, Cfg.RetrainThreshold,
+                        {Cfg.RetrainEvery, Cfg.MinRetrainRecords});
+  auto InstallSwap = [&](const FilterArtifactRef &Art, uint64_t Epoch,
+                         uint64_t Tick) {
+    St.Total.Swaps.push_back({Epoch, Tick, Art->Version, Art->ParentVersion,
+                              Art->TriggerTick, Art->CorpusRecords,
+                              rulesFingerprint(Art->Rules)});
+    if (Registry)
+      Registry->store({Art->Version, Art->ParentVersion, Art->TriggerTick,
+                       Cfg.StreamSeed, Art->CorpusRecords,
+                       Cfg.RetrainThreshold, RegistryModel, RegistryWorkload},
+                      Art->Rules);
+  };
+  if (Cfg.Online) {
+    Trainer.seedCorpus(SeedCorpus);
+    InstallSwap(Cur, 0, 0);
+  }
 
   // The interleave CDF of the current epoch.  Without drift this IS the
   // static mix; with drift it is rebuilt (serially, per epoch) from the
@@ -248,6 +278,14 @@ MultiAppStats MultiAppService::run() {
         std::max<uint64_t>(St.Total.MaxQueueDepth, Queue.size());
     QueueDepthSum += static_cast<double>(Queue.size());
 
+    // Install the pending retrain before this boundary's drain (mid-epoch
+    // pinning: everything compiled since the trigger kept the old version).
+    if (PendingArt) {
+      Cur = std::move(PendingArt);
+      PendingArt = nullptr;
+      InstallSwap(Cur, St.Total.Epochs, Tick);
+    }
+
     Drained.clear();
     for (uint32_t I = 0; I != Cfg.DrainPerEpoch; ++I) {
       uint32_t M = 0;
@@ -263,21 +301,23 @@ MultiAppStats MultiAppService::run() {
       size_t A = appOf(Drained[I]);
       const Method &Meth = Programs[A][Drained[I] - Offset[A]];
       CompileOutcome &Out = Outcomes[I];
-      if (Rules && Cfg.OptimizingPolicy == SchedulingPolicy::Filtered) {
-        ScheduleFilter F(*Rules);
+      if (Cur && Cfg.OptimizingPolicy == SchedulingPolicy::Filtered) {
+        ScheduleFilter F(Cur);
         MC.compileMethod(Meth, Cfg.OptimizingPolicy, &F, Out.Report);
         Out.FilterLS = F.numScheduleDecisions();
         Out.FilterNS = F.numSkipDecisions();
       } else {
         MC.compileMethod(Meth, Cfg.OptimizingPolicy, nullptr, Out.Report);
       }
+      if (Cfg.Online)
+        MC.traceMethod(Meth, Out.Records);
     });
 
     // Install in drain order; each outcome folds into its app's stats
     // and the aggregate.
     for (size_t I = 0; I != Drained.size(); ++I) {
       uint32_t M = Drained[I];
-      const CompileOutcome &Out = Outcomes[I];
+      CompileOutcome &Out = Outcomes[I];
       ServiceStats &App = St.PerApp[appOf(M)];
       Tiers[M] = Tier::Optimizing;
       Pending[M] = false;
@@ -291,8 +331,23 @@ MultiAppStats MultiAppService::run() {
         Dst->FilterNS += Out.FilterNS;
         ++Dst->CompiledMethods;
       }
+      St.Total.Compiles.push_back({St.Total.Epochs, M,
+                                   Cur ? Cur->Version : 0,
+                                   Out.Report.SchedulingWork});
+      if (Cfg.Online) {
+        St.Total.CorpusRecords += Out.Records.size();
+        Trainer.absorb(Out.Records);
+      }
+    }
+
+    if (Cfg.Online) {
+      PendingArt = Trainer.maybeRetrain(Tick, Cur->Version);
+      if (PendingArt)
+        ++St.Total.Retrains;
     }
   }
+
+  St.Total.FinalFilterVersion = Cur ? Cur->Version : 0;
 
   St.Total.Invocations = Cfg.Invocations;
   St.Total.FinalQueueDepth = Queue.size();
@@ -310,18 +365,28 @@ MultiAppStats MultiAppService::run() {
 MultiAppComparison schedfilter::runMultiAppComparison(
     const std::vector<AppSpec> &Apps, const std::vector<Program> &Programs,
     const MachineModel &Model, ServiceConfig Cfg, const RuleSet &Rules,
-    TaskPool &Pool, const std::function<double(uint64_t, size_t)> &MixDrift) {
+    TaskPool &Pool, const std::function<double(uint64_t, size_t)> &MixDrift,
+    std::vector<BlockRecord> SeedCorpus, FilterRegistry *Registry,
+    const std::string &Workload, const std::string &ModelName) {
   MultiAppComparison Cmp;
+  bool Online = Cfg.Online;
 
   Cfg.OptimizingPolicy = SchedulingPolicy::Always;
+  Cfg.Online = false; // the LS tier ignores the filter; nothing to train
   MultiAppService Always(Apps, Programs, Model, Cfg, nullptr, Pool);
   Always.setMixDrift(MixDrift);
   Cmp.Always = Always.run();
 
   Cfg.OptimizingPolicy = SchedulingPolicy::Filtered;
+  Cfg.Online = Online;
   MultiAppService Filtered(Apps, Programs, Model, Cfg, &Rules, Pool,
                            &Always.baselineCosts());
   Filtered.setMixDrift(MixDrift);
+  if (Online) {
+    Filtered.setSeedCorpus(std::move(SeedCorpus));
+    if (Registry)
+      Filtered.setFilterRegistry(Registry, Workload, ModelName);
+  }
   Cmp.Filtered = Filtered.run();
 
   auto Recoup = [](const ServiceStats &LS, const ServiceStats &LN) {

@@ -110,6 +110,21 @@ public:
   /// stats.
   MultiAppStats run();
 
+  /// Pre-serve training corpus for online mode (see
+  /// CompileService::setSeedCorpus).
+  void setSeedCorpus(std::vector<BlockRecord> Records) {
+    SeedCorpus = std::move(Records);
+  }
+
+  /// Persists the session's filter lineage (see
+  /// CompileService::setFilterRegistry).
+  void setFilterRegistry(FilterRegistry *Reg, std::string Workload,
+                         std::string ModelName) {
+    Registry = Reg;
+    RegistryWorkload = std::move(Workload);
+    RegistryModel = std::move(ModelName);
+  }
+
   /// Per-invocation baseline cost per global method id (app-major);
   /// sharable across services over the same apps/programs/model.
   const std::vector<double> &baselineCosts() const { return BaselineCost; }
@@ -135,6 +150,13 @@ private:
   std::vector<const WorkloadFamily *> Families; ///< per app, may be null
   std::vector<double> BaselineCost; ///< per global method id
 
+  /// Online-mode state, mirroring CompileService.
+  FilterArtifactRef BaseArt;
+  std::vector<BlockRecord> SeedCorpus;
+  FilterRegistry *Registry = nullptr;
+  std::string RegistryWorkload;
+  std::string RegistryModel;
+
   size_t appOf(size_t GlobalMethod) const;
 };
 
@@ -150,12 +172,17 @@ struct MultiAppComparison {
 
 /// \p MixDrift, when non-null, is installed on BOTH services (see
 /// MultiAppService::setMixDrift), so the two policies face the same
-/// drifting traffic.
+/// drifting traffic.  Online mode behaves as in runServeComparison: the
+/// Filtered side self-trains from \p SeedCorpus and optionally persists
+/// its lineage into \p Registry; the Always side never trains.
 MultiAppComparison runMultiAppComparison(
     const std::vector<AppSpec> &Apps, const std::vector<Program> &Programs,
     const MachineModel &Model, ServiceConfig Cfg, const RuleSet &Rules,
     TaskPool &Pool,
-    const std::function<double(uint64_t, size_t)> &MixDrift = nullptr);
+    const std::function<double(uint64_t, size_t)> &MixDrift = nullptr,
+    std::vector<BlockRecord> SeedCorpus = {},
+    FilterRegistry *Registry = nullptr, const std::string &Workload = "",
+    const std::string &ModelName = "");
 
 } // namespace schedfilter
 

@@ -5,7 +5,8 @@
 /// can name the exact artifact versions in play: the two corpus-cache key
 /// versions (GeneratorVersion for program synthesis, TracePipelineVersion
 /// for everything downstream of it) and the on-disk format magics (SFTB1
-/// traces, SFCC1 corpus entries).  Those four values fully identify
+/// traces, SFCC1 corpus entries, SFFR1 filter-registry entries).  Those
+/// values fully identify
 /// whether two machines can exchange artifacts and whether a warm cache
 /// is still valid -- which is exactly what a "my trace won't load" or
 /// "my numbers differ" report needs to quote.
@@ -17,6 +18,7 @@
 
 #include "harness/Experiments.h"
 #include "io/CorpusCache.h"
+#include "io/FilterRegistry.h"
 #include "io/TraceStore.h"
 #include "support/CommandLine.h"
 #include "workloads/ProgramGenerator.h"
@@ -42,6 +44,8 @@ inline bool handleVersionOption(const CommandLine &CL, const char *Tool) {
             << " (io/TraceStore.h)\n"
             << "  corpus entry format:    " << CorpusEntryMagic
             << " (io/CorpusCache.h)\n"
+            << "  filter registry format: " << FilterRegistryMagic
+            << " (io/FilterRegistry.h)\n"
             << "  family versions:       ";
   // Each family versions its own program synthesis (its half of the
   // corpus-cache key); a warm-cache mismatch report needs all of them.

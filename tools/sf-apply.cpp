@@ -17,13 +17,13 @@
 #include "support/CommandLine.h"
 
 #include "ModelOption.h"
+#include "RulesOption.h"
 #include "VersionOption.h"
 #include "WorkloadOption.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
 
-#include <fstream>
 #include <iostream>
 
 using namespace schedfilter;
@@ -77,26 +77,9 @@ int main(int argc, char **argv) {
   }
   double Hot = *HotFlag;
 
-  std::ifstream IS(RulesPath);
-  if (!IS) {
-    std::cerr << "error: cannot open rules '" << RulesPath << "'\n";
+  std::optional<RuleSetFile> Rules = loadRulesFileWithLint(RulesPath);
+  if (!Rules)
     return 1;
-  }
-  ParseResult<RuleSetFile> Rules = readRuleSetFile(IS);
-  if (!Rules) {
-    const ParseError &E = Rules.error();
-    std::cerr << "error: " << RulesPath
-              << (E.Line ? ":" + std::to_string(E.Line) : "") << ": "
-              << E.Message << '\n';
-    return 1;
-  }
-
-  // Surface analyzer findings at load time (stderr; the compile proceeds
-  // -- predict() is well-defined even for a sloppy rule set).  sf-lint
-  // gives the full report and can normalize with --fix.
-  RuleAnalysis Lint = analyzeRuleSet(Rules->Rules);
-  if (!Lint.clean())
-    printFindings(Lint, std::cerr, RulesPath, &Rules->RuleLines);
 
   Program P = generateWorkloadProgram(*Spec);
   ScheduleFilter Filter(Rules->Rules);

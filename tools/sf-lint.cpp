@@ -40,6 +40,7 @@
 
 #include "EngineOption.h"
 #include "ModelOption.h"
+#include "RulesOption.h"
 #include "VersionOption.h"
 #include "WorkloadOption.h"
 
@@ -142,19 +143,10 @@ int main(int argc, char **argv) {
   std::vector<size_t> RuleLines;
   std::string Subject;
   if (!RulesPath.empty()) {
-    std::ifstream IS(RulesPath);
-    if (!IS) {
-      std::cerr << "error: cannot open rules '" << RulesPath << "'\n";
+    // Checked load without the load-time lint: this tool IS the lint.
+    std::optional<RuleSetFile> Parsed = readRulesFileChecked(RulesPath);
+    if (!Parsed)
       return 1;
-    }
-    ParseResult<RuleSetFile> Parsed = readRuleSetFile(IS);
-    if (!Parsed) {
-      const ParseError &E = Parsed.error();
-      std::cerr << "error: " << RulesPath
-                << (E.Line ? ":" + std::to_string(E.Line) : "") << ": "
-                << E.Message << '\n';
-      return 1;
-    }
     Rules = std::move(Parsed->Rules);
     RuleLines = std::move(Parsed->RuleLines);
     Subject = RulesPath;

@@ -20,6 +20,7 @@
 //            [--model ppc7410|ppc970|simple-scalar]
 //            [--invocations N] [--hot-threshold N] [--queue-cap N]
 //            [--sample-every N] [--epoch-len N] [--drain N]
+//            [--online [--retrain-every N] [--registry DIR]]
 //            [--filter-eval compiled|interpreter]
 //            [--jobs N] [--corpus-dir DIR | --no-cache]
 //   sf-serve --workload FAMILY[:WEIGHT][,FAMILY[:WEIGHT]...] [...]
@@ -29,6 +30,16 @@
 // Without --rules the filter is trained on the benchmark's own trace at
 // --threshold (default 0) -- the self-training upper bound; the trace
 // comes from the corpus cache when warm.
+//
+// --online closes the loop while serving: the optimizing tier traces the
+// methods it compiles, the records accumulate, and every --retrain-every
+// virtual ticks (default 8192) the filter retrains in the background and
+// hot-swaps at the next epoch boundary; the run's swap lineage prints
+// after the tables.  --registry DIR persists every installed version as
+// an SFFR1 file (inspect/export with sf-train --from-registry).  All of
+// it is deterministic: the swap sequence, the stats, and the registry
+// bytes are identical at any --jobs and cache temperature.  --online is
+// incompatible with --rules (a fixed rules file cannot hot-swap).
 //
 // --workload serves the interleaved multi-app stream instead: every
 // benchmark of each named family becomes one app, the family weight is
@@ -43,6 +54,7 @@
 
 #include "analysis/RuleAnalysis.h"
 #include "harness/ParallelExperiments.h"
+#include "io/FilterRegistry.h"
 #include "ml/Serialization.h"
 #include "runtime/CompileService.h"
 #include "runtime/MultiAppService.h"
@@ -54,10 +66,10 @@
 #include "EngineOption.h"
 #include "FilterEvalOption.h"
 #include "ModelOption.h"
+#include "RulesOption.h"
 #include "VersionOption.h"
 #include "WorkloadOption.h"
 
-#include <fstream>
 #include <iostream>
 
 using namespace schedfilter;
@@ -71,6 +83,7 @@ void printUsage(std::ostream &OS) {
         "                [--invocations N] [--hot-threshold N]"
         " [--queue-cap N]\n"
         "                [--sample-every N] [--epoch-len N] [--drain N]\n"
+        "                [--online [--retrain-every N] [--registry DIR]]\n"
         "                [--filter-eval compiled|interpreter]\n"
         "                [--jobs N] [--corpus-dir DIR | --no-cache]\n"
         "       sf-serve --workload FAMILY[:WEIGHT][,...] [...]\n"
@@ -99,9 +112,10 @@ std::string formatKiloUnits(uint64_t Units) {
   return formatDouble(static_cast<double>(Units) / 1e3, 1) + "k";
 }
 
-/// Resolves --rules when present: parses the file into \p Rules (with the
-/// load-time lint on stderr) and sets \p Loaded.  Returns false after a
-/// printed diagnostic -- bad file, or --threshold given alongside.
+/// Resolves --rules when present: the shared checked-load-with-lint
+/// (tools/RulesOption.h) plus this tool's conflict checks.  Returns false
+/// after a printed diagnostic -- bad file, or --threshold / --online
+/// given alongside.
 bool loadRulesOption(const CommandLine &CL, RuleSet &Rules, bool &Loaded) {
   Loaded = false;
   std::string RulesPath = CL.get("rules");
@@ -112,27 +126,83 @@ bool loadRulesOption(const CommandLine &CL, RuleSet &Rules, bool &Loaded) {
                  "(the threshold labels the self-training trace)\n";
     return false;
   }
-  std::ifstream IS(RulesPath);
-  if (!IS) {
-    std::cerr << "error: cannot open rules '" << RulesPath << "'\n";
+  if (CL.has("online")) {
+    std::cerr << "error: --rules and --online are mutually exclusive "
+                 "(--online self-trains its own v1 filter and adapts it; "
+                 "a fixed rules file cannot hot-swap)\n";
     return false;
   }
-  ParseResult<RuleSetFile> Parsed = readRuleSetFile(IS);
-  if (!Parsed) {
-    const ParseError &E = Parsed.error();
-    std::cerr << "error: " << RulesPath
-              << (E.Line ? ":" + std::to_string(E.Line) : "") << ": "
-              << E.Message << '\n';
+  std::optional<RuleSetFile> Parsed = loadRulesFileWithLint(RulesPath);
+  if (!Parsed)
     return false;
-  }
-  // Load-time lint: a dead or shadowed rule burns serve-path work for
-  // nothing, so say so before the stream starts (stderr; serving
-  // proceeds -- sf-lint --fix normalizes).
-  RuleAnalysis Lint = analyzeRuleSet(Parsed->Rules);
-  if (!Lint.clean())
-    printFindings(Lint, std::cerr, RulesPath, &Parsed->RuleLines);
   Rules = std::move(Parsed->Rules);
   Loaded = true;
+  return true;
+}
+
+/// Resolves --online / --retrain-every / --registry into \p Cfg and
+/// \p RegistryDir.  The dependent flags require --online.
+bool parseOnlineOptions(const CommandLine &CL, ServiceConfig &Cfg,
+                        std::string &RegistryDir) {
+  if (!CL.has("online")) {
+    if (CL.has("retrain-every") || CL.has("registry")) {
+      std::cerr << "error: --retrain-every and --registry require --online\n";
+      return false;
+    }
+    return true;
+  }
+  Cfg.Online = true;
+  std::optional<uint64_t> RetrainEvery =
+      parseCountOption(CL, "retrain-every", Cfg.RetrainEvery, 1, 1000000000);
+  if (!RetrainEvery)
+    return false;
+  Cfg.RetrainEvery = *RetrainEvery;
+  RegistryDir = CL.get("registry");
+  if (CL.has("registry") && RegistryDir.empty()) {
+    std::cerr << "error: --registry expects a directory\n";
+    return false;
+  }
+  return true;
+}
+
+std::string formatHex64(uint64_t V) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out(16, '0');
+  for (int I = 15; I >= 0; --I, V >>= 4)
+    Out[static_cast<size_t>(I)] = Digits[V & 0xf];
+  return Out;
+}
+
+/// The online-mode stdout tail: retrain counters and the run's full swap
+/// lineage.  Every field is deterministic -- part of the byte-identical
+/// stdout contract at any --jobs and cache temperature.
+void printOnlineReport(const ServiceStats &LN) {
+  std::cout << "\nonline self-training: " << LN.Retrains << " retrains, "
+            << LN.CorpusRecords << " records absorbed, final filter v"
+            << LN.FinalFilterVersion << "\n";
+  std::cout << "filter lineage (swap sequence):\n";
+  for (const ServiceStats::FilterSwapStat &S : LN.Swaps)
+    std::cout << "  v" << S.Version << " <- v" << S.ParentVersion
+              << " installed epoch " << S.Epoch << " tick " << S.Tick
+              << " (trigger tick " << S.TriggerTick << ", corpus "
+              << S.CorpusRecords << ", rules " << formatHex64(S.RulesHash)
+              << ")\n";
+}
+
+/// After a run that persisted a registry: fail loudly if any store
+/// failed -- a half-written lineage must not look like success.
+bool checkRegistryHealth(const FilterRegistry *Reg) {
+  if (!Reg)
+    return true;
+  FilterRegistry::Stats S = Reg->stats();
+  std::cerr << "registry: " << S.Stores << " versions persisted to "
+            << Reg->directory() << "\n";
+  if (S.StoreFailures) {
+    std::cerr << "error: " << S.StoreFailures
+              << " registry store(s) failed (disk full or unwritable "
+                 "directory?)\n";
+    return false;
+  }
   return true;
 }
 
@@ -143,7 +213,7 @@ bool loadRulesOption(const CommandLine &CL, RuleSet &Rules, bool &Loaded) {
 /// of (mix, model, config) -- same contract as the single-app mode.
 int serveMix(const CommandLine &CL, const WorkloadMix &Mix,
              const MachineModel &Model, ExperimentEngine &Engine,
-             ServiceConfig Cfg) {
+             ServiceConfig Cfg, const std::string &RegistryDir) {
   std::vector<AppSpec> Apps = expandWorkloadMix(Mix);
   Cfg.StreamSeed = workloadMixSeed(Apps);
 
@@ -153,6 +223,7 @@ int serveMix(const CommandLine &CL, const WorkloadMix &Mix,
     return 1;
 
   std::vector<Program> Programs;
+  std::vector<BlockRecord> SeedRecords;
   if (RulesFromFile) {
     Programs = generateMixPrograms(Apps);
   } else {
@@ -177,15 +248,26 @@ int serveMix(const CommandLine &CL, const WorkloadMix &Mix,
     RuleAnalysis Lint = analyzeRuleSet(Rules, &Train);
     if (!Lint.clean())
       printFindings(Lint, std::cerr);
+    Cfg.RetrainThreshold = Threshold;
     Programs.reserve(Runs.size());
-    for (BenchmarkRun &Run : Runs)
+    for (BenchmarkRun &Run : Runs) {
+      if (Cfg.Online)
+        SeedRecords.insert(SeedRecords.end(), Run.Records.begin(),
+                           Run.Records.end());
       Programs.push_back(std::move(Run.Prog));
+    }
   }
+
+  std::optional<FilterRegistry> Registry;
+  if (!RegistryDir.empty())
+    Registry.emplace(RegistryDir);
 
   AccumulatingTimer Wall;
   Wall.start();
-  MultiAppComparison Cmp =
-      runMultiAppComparison(Apps, Programs, Model, Cfg, Rules, Engine.pool());
+  MultiAppComparison Cmp = runMultiAppComparison(
+      Apps, Programs, Model, Cfg, Rules, Engine.pool(), nullptr,
+      std::move(SeedRecords), Registry ? &*Registry : nullptr,
+      formatWorkloadMix(Mix), Model.getName());
   Wall.stop();
 
   // --- Deterministic report (stdout). ---
@@ -238,6 +320,8 @@ int serveMix(const CommandLine &CL, const WorkloadMix &Mix,
             << formatPercent(Cmp.RecoupedWorkFraction, 1) << " (LS "
             << formatKiloUnits(LS.SchedulingWork) << " units -> L/N "
             << formatKiloUnits(LN.SchedulingWork) << " units)\n";
+  if (Cfg.Online)
+    printOnlineReport(LN);
 
   // --- Wall-clock throughput (stderr). ---
   double Seconds = Wall.seconds();
@@ -246,7 +330,7 @@ int serveMix(const CommandLine &CL, const WorkloadMix &Mix,
             << formatDouble(Seconds * 1e3, 1) << " ms ("
             << formatDouble(Seconds > 0.0 ? Served / Seconds / 1e6 : 0.0, 2)
             << "M inv/s across both runs)\n";
-  return 0;
+  return checkRegistryHealth(Registry ? &*Registry : nullptr) ? 0 : 1;
 }
 
 } // namespace
@@ -311,9 +395,13 @@ int main(int argc, char **argv) {
   Cfg.EpochLen = static_cast<uint32_t>(*EpochLen);
   Cfg.DrainPerEpoch = static_cast<uint32_t>(*Drain);
 
+  std::string RegistryDir;
+  if (!parseOnlineOptions(CL, Cfg, RegistryDir))
+    return 1;
+
   // The interleaved multi-app mode has its own report shape.
   if (!Mix->empty())
-    return serveMix(CL, *Mix, *Model, Engine, Cfg);
+    return serveMix(CL, *Mix, *Model, Engine, Cfg, RegistryDir);
 
   Cfg.StreamSeed = invocationStreamSeed(Spec->Seed);
 
@@ -326,6 +414,7 @@ int main(int argc, char **argv) {
   if (!loadRulesOption(CL, Rules, RulesFromFile))
     return 1;
   std::optional<Program> P;
+  std::vector<BlockRecord> SeedRecords;
   if (!RulesFromFile) {
     double Threshold = 0.0;
     if (!parseThresholdFlag(CL, Threshold))
@@ -339,15 +428,23 @@ int main(int argc, char **argv) {
     RuleAnalysis Lint = analyzeRuleSet(Rules, &Labeled[0]);
     if (!Lint.clean())
       printFindings(Lint, std::cerr);
+    Cfg.RetrainThreshold = Threshold;
+    if (Cfg.Online)
+      SeedRecords = std::move(Runs[0].Records);
     P = std::move(Runs[0].Prog);
   }
   if (!P)
     P = generateWorkloadProgram(*Spec);
 
+  std::optional<FilterRegistry> Registry;
+  if (!RegistryDir.empty())
+    Registry.emplace(RegistryDir);
+
   AccumulatingTimer Wall;
   Wall.start();
-  ServeComparison Cmp =
-      runServeComparison(*P, *Model, Cfg, Rules, Engine.pool());
+  ServeComparison Cmp = runServeComparison(
+      *P, *Model, Cfg, Rules, Engine.pool(), std::move(SeedRecords),
+      Registry ? &*Registry : nullptr, Name, Model->getName());
   Wall.stop();
 
   // --- Deterministic report (stdout). ---
@@ -386,6 +483,8 @@ int main(int argc, char **argv) {
             << formatPercent(Cmp.RecoupedWorkFraction, 1) << " (LS "
             << formatKiloUnits(LS.SchedulingWork) << " units -> L/N "
             << formatKiloUnits(LN.SchedulingWork) << " units)\n";
+  if (Cfg.Online)
+    printOnlineReport(LN);
 
   // --- Wall-clock throughput (stderr: varies run to run, backs nothing
   // deterministic). ---
@@ -395,5 +494,5 @@ int main(int argc, char **argv) {
             << formatDouble(Seconds * 1e3, 1) << " ms ("
             << formatDouble(Seconds > 0.0 ? Served / Seconds / 1e6 : 0.0, 2)
             << "M inv/s across both runs)\n";
-  return 0;
+  return checkRegistryHealth(Registry ? &*Registry : nullptr) ? 0 : 1;
 }

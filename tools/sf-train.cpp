@@ -23,9 +23,18 @@
 // are merged in command-line order and the learner reduces its argmax in
 // feature order, so the induced filter is byte-identical at any N.
 //
+// --from-registry DIR inspects a filter lineage persisted by
+// `sf-serve --online --registry DIR` instead of training: it lists every
+// version's provenance (parent, trigger tick, corpus size) and prints the
+// selected version's rules (--filter-version N; default newest).  --out
+// exports that version as a plain rules file, ready for --rules in any
+// tool.  Incompatible with trace files and --workload (the registry IS
+// the training provenance).
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/RuleAnalysis.h"
+#include "io/FilterRegistry.h"
 #include "io/TraceStore.h"
 #include "ml/Baselines.h"
 #include "ml/DecisionTree.h"
@@ -54,12 +63,85 @@ static void printUsage(std::ostream &OS) {
         " [--model ppc7410|ppc970|simple-scalar]\n"
         "                [--jobs N] [--corpus-dir DIR | --no-cache]\n"
         "                [--noise SRC:PARAM[,...]] [--noise-seed N]\n"
+        "       sf-train --from-registry DIR [--filter-version N]\n"
+        "                [--out RULES.txt]\n"
         "       sf-train --help | --version\n";
 }
 
 static int usage() {
   printUsage(std::cerr);
   return 1;
+}
+
+/// The --from-registry mode: list a persisted lineage's provenance
+/// (stderr), print the selected version's rules (stdout), optionally
+/// export with --out.  No training happens here.
+static int inspectRegistry(const CommandLine &CL) {
+  if (!CL.positional().empty() || CL.has("workload")) {
+    std::cerr << "error: --from-registry is incompatible with trace files "
+                 "and --workload (the registry is the training "
+                 "provenance)\n";
+    return 1;
+  }
+  std::string Dir = CL.get("from-registry");
+  FilterRegistry Registry(Dir);
+  std::vector<uint32_t> Versions = Registry.listVersions();
+  if (Versions.empty()) {
+    std::cerr << "error: no filter versions found in '" << Dir << "'\n";
+    return 1;
+  }
+
+  std::optional<uint64_t> Selected =
+      parseCountOption(CL, "filter-version", Versions.back(), 1, 0xFFFFFFFFull);
+  if (!Selected)
+    return 1;
+  uint32_t Want = static_cast<uint32_t>(*Selected);
+
+  // Lineage listing: every version's provenance, loaded and validated
+  // (a corrupt entry fails the listing -- never silently skipped).
+  std::cerr << "registry " << Dir << ": " << Versions.size()
+            << " versions\n";
+  std::optional<RegistryEntry> Chosen;
+  for (uint32_t V : Versions) {
+    ParseResult<RegistryEntry> E = Registry.load(V);
+    if (!E) {
+      std::cerr << "error: " << E.error().str() << '\n';
+      return 1;
+    }
+    std::cerr << "  v" << E->Meta.Version << " <- v" << E->Meta.ParentVersion
+              << ": trigger tick " << E->Meta.TriggerTick << ", corpus "
+              << E->Meta.CorpusRecords << " records, t = "
+              << E->Meta.ThresholdPct << ", " << E->Rules.size()
+              << " rules (model " << E->Meta.Model << ", workload "
+              << E->Meta.Workload << ")\n";
+    if (V == Want)
+      Chosen = std::move(*E);
+  }
+  if (!Chosen) {
+    std::cerr << "error: version " << Want << " not found in '" << Dir
+              << "'\n";
+    return 1;
+  }
+
+  std::cout << Chosen->Rules.toString();
+
+  std::string Out = CL.get("out");
+  if (!Out.empty()) {
+    std::ofstream OS(Out, std::ios::trunc);
+    if (!OS) {
+      std::cerr << "error: cannot open '" << Out << "' for writing\n";
+      return 1;
+    }
+    writeRuleSet(Chosen->Rules, OS);
+    OS.flush();
+    if (!OS) {
+      std::cerr << "error: failed writing filter to '" << Out
+                << "' (disk full or device error)\n";
+      return 1;
+    }
+    std::cerr << "\nwrote v" << Chosen->Meta.Version << " to " << Out << '\n';
+  }
+  return 0;
 }
 
 int main(int argc, char **argv) {
@@ -70,6 +152,13 @@ int main(int argc, char **argv) {
   }
   if (handleVersionOption(CL, "sf-train"))
     return 0;
+  if (CL.has("from-registry"))
+    return inspectRegistry(CL);
+  if (CL.has("filter-version")) {
+    std::cerr << "error: --filter-version only applies with "
+                 "--from-registry\n";
+    return 1;
+  }
   std::optional<WorkloadMix> Mix = parseWorkloadOption(CL);
   if (!Mix)
     return 1;
